@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments check examples all
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro all
+
+check:
+	$(PYTHON) -m repro check
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example =="; \
+		$(PYTHON) $$example || exit 1; \
+	done
+
+all: test bench check

@@ -1,0 +1,23 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's figures (at a reduced but
+shape-preserving size — the CLI ``python -m repro <fig>`` runs full size)
+and prints the same rows/series the figure plots, bypassing pytest's
+output capture so they appear in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so figures land in the bench output."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,86 @@
+"""Ablations (DESIGN.md §6): aging, search pruning, placement advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    run_advisor_ablation,
+    run_aging_ablation,
+    run_ga_ablation,
+    run_routing_ablation,
+    run_search_ablation,
+)
+
+
+def test_abl1_starvation_prevention(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_aging_ablation(AblationConfig()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    no_aging_wait = rows["no-aging"][3]
+    aging_wait = rows["aging"][3]
+    # Aging pulls the starving big report forward ...
+    assert aging_wait < no_aging_wait / 2
+    # ... at some cost in total IV (the paper's stated trade-off).
+    assert rows["no-aging"][1] >= rows["aging"][1]
+
+
+def test_abl2_scatter_gather_vs_exhaustive(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_search_ablation(AblationConfig()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    for row in table.rows:
+        _trial, _tables, sg_iv, oracle_iv, sg_plans, oracle_plans, *_ = row
+        # Gather pruning is lossless under uniform per-table costs ...
+        assert sg_iv == pytest.approx(oracle_iv, rel=1e-9)
+        # ... while evaluating far fewer plans.
+        assert sg_plans < oracle_plans / 3
+
+
+def test_abl4_precalculated_routing(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_routing_ablation(AblationConfig()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    live_iv, live_us = rows["live-search"][1], rows["live-search"][3]
+    routed_iv, routed_us = rows["routing-table"][1], rows["routing-table"][3]
+    # Table answers are near-optimal ...
+    assert routed_iv >= 0.98 * live_iv
+    # ... and lookups are faster than running the search.
+    assert routed_us < live_us
+
+
+def test_abl5_ga_vs_simpler_searches(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_ga_ablation(AblationConfig()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    values = dict(zip(table.column("strategy"), table.column("total_iv")))
+    # Every budgeted search beats the naive arrival order ...
+    for strategy in ("random-search", "hill-climb", "genetic-algorithm"):
+        assert values[strategy] >= values["arrival-order"] - 1e-9
+    # ... and the GA at least matches the best simpler strategy (the
+    # paper's exploration/exploitation claim).
+    assert values["genetic-algorithm"] >= max(
+        values["random-search"], values["hill-climb"]
+    ) - 1e-9
+
+
+def test_abl3_placement_advisor(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_advisor_ablation(AblationConfig()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    values = dict(zip(table.column("placement"), table.column("expected_iv")))
+    assert values["advisor"] >= values["random-5"] - 1e-9
+    assert values["advisor"] > values["none"]

@@ -1,0 +1,60 @@
+"""Figure 5 — information value vs synchronization frequency (TPC-H).
+
+Reduced-size regeneration (smaller TPC-H scale, one round per cell); the
+full-size sweep is ``python -m repro fig5``.  Asserts the paper's shapes:
+
+* IVQP obtains the highest information values in every cell;
+* Data Warehouse improves as synchronization gets more frequent and
+  overtakes Federation at Fq:Fs = 1:20.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import TpchSetup
+from repro.experiments.fig5 import Fig5Config, run_fig5
+
+
+def bench_config() -> Fig5Config:
+    return Fig5Config(
+        setup=TpchSetup(scale=0.001, seed=7),
+        rounds=1,
+    )
+
+
+def _cell(table, ratio, lambdas, approach):
+    for row in table.rows:
+        if (row[0], (row[1], row[2]), row[3]) == (ratio, lambdas, approach):
+            return row[4]
+    raise AssertionError(f"missing cell {ratio}/{lambdas}/{approach}")
+
+
+def test_fig5_information_value(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_fig5(bench_config()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    config = bench_config()
+    for ratio in config.ratios:
+        for lambdas in config.lambdas:
+            ivqp = _cell(table, ratio, lambdas, "ivqp")
+            fed = _cell(table, ratio, lambdas, "federation")
+            wh = _cell(table, ratio, lambdas, "warehouse")
+            # IVQP always obtains the biggest information values.
+            assert ivqp >= fed - 5e-3, (ratio, lambdas)
+            assert ivqp >= wh - 5e-3, (ratio, lambdas)
+
+    # Data Warehouse improves with sync frequency ...
+    for lambdas in config.lambdas:
+        slow = _cell(table, "1:0.1", lambdas, "warehouse")
+        fast = _cell(table, "1:20", lambdas, "warehouse")
+        assert fast > slow, lambdas
+    # ... and overtakes Federation at 1:20 (symmetric-λ cells).
+    for lambdas in ((0.01, 0.01), (0.05, 0.05)):
+        assert _cell(table, "1:20", lambdas, "warehouse") > _cell(
+            table, "1:20", lambdas, "federation"
+        )
+        # ... while losing badly when syncs are rare.
+        assert _cell(table, "1:0.1", lambdas, "warehouse") < _cell(
+            table, "1:0.1", lambdas, "federation"
+        )

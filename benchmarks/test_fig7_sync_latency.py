@@ -1,0 +1,53 @@
+"""Figure 7 — synchronization latency per query (IVQP vs Data Warehouse).
+
+Asserts the paper's shape: "IVQP can always get smaller or equal
+synchronization latency to Data Warehouse method", across Fq:Fs ratios
+1:1, 1:10 and 1:20.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import TpchSetup
+from repro.experiments.fig7 import Fig7Config, run_fig7
+
+
+def bench_config() -> Fig7Config:
+    return Fig7Config(setup=TpchSetup(scale=0.001, seed=7))
+
+
+def test_fig7_sync_latency(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_fig7(bench_config()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    config = bench_config()
+    by_key = {}
+    for ratio, _index, query, approach, sl in table.rows:
+        by_key[(ratio, query, approach)] = sl
+
+    for ratio in config.ratio_multipliers:
+        ivqp_values = []
+        warehouse_values = []
+        for (r, query, approach), sl in by_key.items():
+            if r != ratio:
+                continue
+            if approach == "ivqp":
+                ivqp_values.append((query, sl))
+            else:
+                warehouse_values.append((query, sl))
+        assert len(ivqp_values) == 15
+        for query, sl in ivqp_values:
+            assert sl <= by_key[(ratio, query, "warehouse")] + 1e-6, (
+                ratio, query,
+            )
+
+    # DW synchronization latency shrinks as syncs speed up.
+    def warehouse_mean(ratio: str) -> float:
+        values = [
+            sl for (r, _q, approach), sl in by_key.items()
+            if r == ratio and approach == "warehouse"
+        ]
+        return sum(values) / len(values)
+
+    assert warehouse_mean("1:20") < warehouse_mean("1:1")

@@ -1,0 +1,62 @@
+"""Figure 8 — information value vs number of sites (synthetic).
+
+Reduced sweep (three site counts, 60 queries); full size via
+``python -m repro fig8``.  Asserts the paper's shapes:
+
+* IVQP beats Federation and Data Warehouse at every point;
+* under uniform placement the IV of IVQP and Federation falls as sites are
+  added (cross-site coordination overhead);
+* under skewed placement the curves barely move once past the smallest
+  configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8 import Fig8Config, run_fig8
+
+
+def bench_config() -> Fig8Config:
+    return Fig8Config(
+        site_counts=(2, 10, 22),
+        query_count=60,
+    )
+
+
+def _value(table, placement, sites, approach):
+    for row in table.rows:
+        if (row[0], row[1], row[2]) == (placement, sites, approach):
+            return row[3]
+    raise AssertionError(f"missing {placement}/{sites}/{approach}")
+
+
+def test_fig8_sites(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_fig8(bench_config()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    config = bench_config()
+    for placement in config.placements:
+        for sites in config.site_counts:
+            ivqp = _value(table, placement, sites, "ivqp")
+            assert ivqp >= _value(table, placement, sites, "federation") - 1e-6
+            assert ivqp >= _value(table, placement, sites, "warehouse") - 1e-6
+
+    # Uniform: more sites -> lower IV for IVQP and Federation.
+    for approach in ("ivqp", "federation"):
+        assert _value(table, "uniform", 22, approach) < _value(
+            table, "uniform", 2, approach
+        )
+    # Skewed: flat beyond the smallest configuration.
+    for approach in ("ivqp", "federation"):
+        mid = _value(table, "skewed", 10, approach)
+        wide = _value(table, "skewed", 22, approach)
+        assert abs(wide - mid) < 0.02
+    # Uniform degrades more than skewed from 2 to 22 sites.
+    uniform_drop = _value(table, "uniform", 2, "ivqp") - _value(
+        table, "uniform", 22, "ivqp"
+    )
+    skewed_drop = _value(table, "skewed", 2, "ivqp") - _value(
+        table, "skewed", 22, "ivqp"
+    )
+    assert uniform_drop > skewed_drop

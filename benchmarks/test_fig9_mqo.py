@@ -1,0 +1,45 @@
+"""Figure 9 — the effects of multi-query optimization (synthetic, λ=.15).
+
+Asserts the paper's shapes: the MQO gain over executing queries in arrival
+order (a) grows with the query overlap rate, exceeding ~50% at a 50%
+overlap, and (b) grows with the number of fully-overlapping queries.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import Fig9Config, run_fig9a, run_fig9b
+from repro.mqo.ga import GAConfig
+
+
+def bench_config() -> Fig9Config:
+    return Fig9Config(ga=GAConfig(generations=50))
+
+
+def test_fig9a_overlap_rate(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_fig9a(bench_config()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    gains = dict(zip(table.column("overlap_pct"), table.column("gain_pct")))
+    # MQO never hurts.
+    assert all(gain >= -1e-6 for gain in gains.values())
+    # The improvement grows with the overlap rate ...
+    assert gains[50] > gains[30] > gains[10] - 1e-9
+    # ... "when the rate of overlapping is 50%, MQO is effective in
+    # achieving more than 50% performance gain".
+    assert gains[50] > 50.0
+
+
+def test_fig9b_query_count(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_fig9b(bench_config()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    counts = table.column("num_queries")
+    gains = dict(zip(counts, table.column("gain_pct")))
+    assert all(gain >= -1e-6 for gain in gains.values())
+    # Small workloads leave little room; large ones benefit substantially.
+    assert max(gains[c] for c in counts if c >= 10) > gains[2]
+    assert max(gains.values()) > 50.0

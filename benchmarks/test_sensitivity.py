@@ -1,0 +1,52 @@
+"""EXT1 — routing-decision sensitivity (the paper's Figures 1–2, measured).
+
+Asserts the qualitative flips the paper argues for:
+
+* Figure 1 scenario (stale replicas, no imminent rescue): small λ_CL with
+  large λ_SL routes to remote base tables; the reverse routes to replicas.
+* Figure 2 scenario (synchronization imminent): larger λ_SL than λ_CL makes
+  the delayed plan win; the reverse executes immediately from replicas.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
+
+
+def _grid(table, scenario):
+    return {
+        (row[1], row[2]): row[3]
+        for row in table.rows
+        if row[0] == scenario
+    }
+
+
+def test_sensitivity_phase_diagram(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_sensitivity(SensitivityConfig()), rounds=1, iterations=1
+    )
+    show(table.render())
+
+    fig1 = _grid(table, "fig1")
+    fig2 = _grid(table, "fig2")
+
+    # Figure 1's trade-off: freshness-hungry users go remote, latency-hungry
+    # users use the replicas.
+    assert fig1[(0.005, 0.2)] == "all-remote"
+    assert fig1[(0.2, 0.005)] == "all-replica"
+    # The boundary is monotone along the diagonal: once λ_CL dominates,
+    # increasing it further never flips back to remote.
+    for rate_sl in (0.005, 0.01, 0.02):
+        kinds = [fig1[(rate_cl, rate_sl)] for rate_cl in (0.005, 0.05, 0.2)]
+        if "all-replica" in kinds:
+            first = kinds.index("all-replica")
+            assert all(kind == "all-replica" for kind in kinds[first:])
+
+    # Figure 2's trade-off: an imminent sync is worth waiting for exactly
+    # when synchronization decay outweighs computational decay.
+    assert fig2[(0.005, 0.2)] == "delayed"
+    assert fig2[(0.2, 0.005)] == "all-replica"
+
+    # Every decision in the sweep is one of the four known kinds.
+    for kind in list(fig1.values()) + list(fig2.values()):
+        assert kind in {"all-remote", "all-replica", "mixed", "delayed"}

@@ -1,0 +1,194 @@
+"""Asset exposure during a market event — MQO and starvation prevention.
+
+A bank's risk desk runs position/exposure reports over trading systems in
+four regions.  When a market event hits, a burst of reports arrives at
+once; the single DSS server and the regional servers saturate.  This
+example contrasts three schedulers on the same burst:
+
+* FIFO ("without MQO"): arrival order, each report individually optimized;
+* MQO: the paper's GA-ordered workload schedule (Section 3.2);
+* greedy dispatch with the aging boost (Section 3.3), which bounds the
+  worst wait.
+
+Run:  python examples/asset_exposure.py
+"""
+
+from __future__ import annotations
+
+from repro import AgingPolicy, DSSQuery, DiscountRates, GAConfig, WorkloadScheduler
+from repro.federation import Catalog, CostModel, CostParameters, TableDef
+from repro.federation.sync import build_schedules
+from repro.sim import RandomSource
+from repro.workload import Workload
+
+REGIONS = ["amer", "emea", "apac", "latam"]
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    for site, region in enumerate(REGIONS):
+        catalog.add_table(
+            TableDef(f"positions_{region}", site, row_count=50_000, row_bytes=96)
+        )
+        catalog.add_table(
+            TableDef(f"trades_{region}", site, row_count=150_000, row_bytes=80)
+        )
+    catalog.add_table(TableDef("instruments", 0, row_count=20_000, row_bytes=64))
+    catalog.add_table(TableDef("counterparties", 1, row_count=8_000, row_bytes=64))
+
+    replicated = ["instruments", "counterparties",
+                  "positions_amer", "positions_emea"]
+    schedules = build_schedules(
+        replicated, mode="exponential", mean_interval=5.0,
+        source=RandomSource(7, "risk-desk"),
+    )
+    for name in replicated:
+        catalog.add_replica(name, schedules[name])
+    return catalog
+
+
+def build_burst() -> Workload:
+    """Twelve risk reports landing within two minutes of the event."""
+    rates = DiscountRates(computational=0.12, synchronization=0.12)
+    workload = Workload()
+    query_id = 1
+    for region in REGIONS:
+        workload.add(
+            DSSQuery(
+                query_id=query_id,
+                name=f"exposure-{region}",
+                tables=(f"positions_{region}", f"trades_{region}",
+                        "instruments"),
+                business_value=8.0,
+                rates=rates,
+            ),
+            arrival=0.2 * query_id,
+        )
+        query_id += 1
+    for region in REGIONS:
+        workload.add(
+            DSSQuery(
+                query_id=query_id,
+                name=f"counterparty-risk-{region}",
+                tables=(f"trades_{region}", "counterparties"),
+                business_value=5.0,
+                rates=rates,
+            ),
+            arrival=0.2 * query_id,
+        )
+        query_id += 1
+    for scope, tables in (
+        ("global-var", tuple(f"positions_{r}" for r in REGIONS)),
+        ("liquidity", ("trades_amer", "trades_emea", "instruments")),
+        ("stress-scenario", ("positions_apac", "positions_latam",
+                             "counterparties")),
+        ("desk-pnl", ("trades_apac", "instruments")),
+    ):
+        workload.add(
+            DSSQuery(
+                query_id=query_id,
+                name=scope,
+                tables=tables,
+                business_value=6.0,
+                rates=rates,
+            ),
+            arrival=0.2 * query_id,
+        )
+        query_id += 1
+    return workload
+
+
+def build_trailing_stream() -> Workload:
+    """A saturating stream plus one big early report — starvation bait.
+
+    The global value-at-risk report arrives at t=1 but is expensive; small
+    desk reports keep arriving at roughly the service rate, so a scheduler
+    that greedily maximizes instantaneous IV keeps preferring the fresh
+    cheap reports and the VaR report starves (Section 3.3).
+    """
+    rates = DiscountRates(computational=0.12, synchronization=0.12)
+    workload = Workload()
+    workload.add(
+        DSSQuery(
+            query_id=1,
+            name="global-var",
+            tables=tuple(f"positions_{r}" for r in REGIONS)
+            + tuple(f"trades_{r}" for r in REGIONS),
+            business_value=6.0,
+            rates=rates,
+        ),
+        arrival=1.0,
+    )
+    for index in range(40):
+        region = REGIONS[index % len(REGIONS)]
+        workload.add(
+            DSSQuery(
+                query_id=index + 2,
+                name=f"desk-check-{index + 1}",
+                tables=(f"positions_{region}", "instruments"),
+                business_value=4.0,
+                rates=rates,
+            ),
+            # Slightly faster than the desk-check service rate, so the
+            # queue never fully drains while the stream lasts.
+            arrival=1.0 + 0.45 * index,
+        )
+    return workload
+
+
+def main() -> None:
+    catalog = build_catalog()
+    cost_model = CostModel(
+        catalog,
+        params=CostParameters(local_throughput=150_000.0,
+                              remote_throughput=60_000.0),
+    )
+    rates = DiscountRates(computational=0.12, synchronization=0.12)
+    scheduler = WorkloadScheduler(
+        catalog, cost_model, rates, ga_config=GAConfig(generations=50), seed=7
+    )
+
+    # Part 1 — the burst: MQO vs FIFO.
+    burst = build_burst()
+    fifo = scheduler.fifo(burst)
+    mqo = scheduler.schedule(burst)
+    print(f"Market-event burst: {len(burst)} reports in "
+          f"{max(burst.arrivals.values()):.1f} minutes\n")
+    header = f"{'scheduler':>14}  {'total IV':>9}  {'mean IV':>8}  {'max wait':>9}"
+    print(header)
+    print("-" * len(header))
+    for label, result in (("FIFO", fifo), ("MQO (GA)", mqo.result)):
+        print(f"{label:>14}  {result.total_information_value:9.3f}  "
+              f"{result.mean_information_value:8.3f}  "
+              f"{result.max_wait:8.1f}m")
+    gain = mqo.total_information_value - fifo.total_information_value
+    print(f"\nMQO recovered {gain:.2f} information value "
+          f"({gain / fifo.total_information_value:+.1%}) by reordering the "
+          f"burst ({len(mqo.ga_results)} GA run(s) over "
+          f"{[len(g) for g in mqo.groups if len(g) > 1]} conflicting queries).")
+
+    # Part 2 — the trailing stream: starvation without aging.
+    stream = build_trailing_stream()
+    plain = scheduler.greedy_dispatch(stream, aging=None)
+    aged = scheduler.greedy_dispatch(stream, aging=AgingPolicy(beta=0.3))
+
+    def var_wait(result) -> float:
+        assignment = next(
+            a for a in result.assignments if a.query.name == "global-var"
+        )
+        return assignment.begin - assignment.arrival
+
+    print(f"\nTrailing stream (one big VaR report + {len(stream) - 1} "
+          "small desk checks):")
+    print(f"  greedy, no aging : VaR report waited {var_wait(plain):6.1f} min "
+          f"(total IV {plain.total_information_value:.2f})")
+    print(f"  greedy + aging   : VaR report waited {var_wait(aged):6.1f} min "
+          f"(total IV {aged.total_information_value:.2f})")
+    print("The aging boost (Section 3.3) pulls the starving report forward. "
+          "It costs total information value — exactly the paper's trade-off: "
+          "starvation 'does not have impact on achieving overall optimal "
+          "information value but it may result in many unhappy end users'.")
+
+
+if __name__ == "__main__":
+    main()

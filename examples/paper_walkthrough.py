@@ -1,0 +1,108 @@
+"""A guided tour of the paper's Sections 2–3, with live numbers.
+
+Walks the four ideas in order, reproducing each figure's argument with the
+actual library objects:
+
+1. the information value formula and the intro's two-reports example;
+2. Figure 1 — remote base tables vs. stale replicas;
+3. Figure 2 — immediate vs. delayed execution;
+4. Figure 4 — the scatter-and-gather search, step by step.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DiscountRates,
+    IVQPOptimizer,
+    SearchDiagnostics,
+    explain_choice,
+    information_value,
+)
+from repro.experiments import build_fig4_world
+from repro.federation import Catalog, StreamSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.workload import DSSQuery
+
+
+def section_2_information_values() -> None:
+    print("=" * 72)
+    print("Section 2 — information values")
+    print("=" * 72)
+    print(
+        "The introduction's example: report 1 arrives after 5 minutes on\n"
+        "data stamped 8 minutes ago; report 2 arrives after 2 minutes on\n"
+        "data stamped 12 minutes ago.  Which is worth more?  It depends on\n"
+        "the discount preferences:\n"
+    )
+    for label, rates in (
+        ("freshness-sensitive (l_CL=0.01, l_SL=0.10)", DiscountRates(0.01, 0.10)),
+        ("latency-sensitive  (l_CL=0.10, l_SL=0.01)", DiscountRates(0.10, 0.01)),
+    ):
+        report_1 = information_value(1.0, 5.0, 8.0 + 5.0, rates)
+        report_2 = information_value(1.0, 2.0, 12.0 + 2.0, rates)
+        winner = "report 1" if report_1 > report_2 else "report 2"
+        print(f"  {label}: report1={report_1:.3f} report2={report_2:.3f}"
+              f"  -> {winner} wins")
+    print()
+
+
+def figures_1_and_2_routing() -> None:
+    print("=" * 72)
+    print("Figures 1-2 — what the routing decision trades off")
+    print("=" * 72)
+    catalog = Catalog()
+    for index, name in enumerate(("T1", "T2")):
+        catalog.add_table(TableDef(name, site=index, row_count=10_000))
+        catalog.add_replica(
+            name, StreamSyncSchedule.periodic(24.0, offset=12.0 + 6.0 * index)
+        )
+    cost_model = CostModel(
+        catalog,
+        params=CostParameters(local_throughput=5_000.0,
+                              remote_throughput=1_500.0),
+    )
+    query = DSSQuery(query_id=1, name="Q1", tables=("T1", "T2"))
+    for label, rates in (
+        ("freshness-hungry", DiscountRates(0.01, 0.20)),
+        ("latency-hungry", DiscountRates(0.20, 0.01)),
+    ):
+        comparison = explain_choice(query, catalog, cost_model, rates, 34.0)
+        print(f"\n{label} user (l_CL={rates.computational}, "
+              f"l_SL={rates.synchronization}):")
+        print(comparison.as_table().render())
+    print()
+
+
+def figure_4_scatter_gather() -> None:
+    print("=" * 72)
+    print("Figure 4 — the scatter-and-gather search")
+    print("=" * 72)
+    catalog, provider, query, rates = build_fig4_world()
+    scatter = information_value(1.0, 10.0, 10.0, rates)
+    print(f"Scatter: all four base tables -> CL = SL = 10, "
+          f"IV = 0.9^10 x 0.9^10 = {scatter:.4f}")
+    print(f"Bound: no plan with CL > 20 can win -> search ends by t = 31")
+
+    diagnostics = SearchDiagnostics()
+    optimizer = IVQPOptimizer(catalog, provider, rates)
+    plan = optimizer.choose_plan(query, 11.0, diagnostics)
+    print(f"\nGather walked {diagnostics.time_lines_visited} time lines, "
+          f"evaluated {diagnostics.plans_evaluated} plans, tightened the "
+          f"bound {diagnostics.bound_tightenings} times "
+          f"(final bound t = {diagnostics.final_bound:.1f}).")
+    print(f"Chosen: {plan.describe()}")
+    print(f"That is {plan.information_value / scatter:.2f}x the scatter "
+          "incumbent — the value of exploring delayed, mixed plans.")
+    print()
+
+
+def main() -> None:
+    section_2_information_values()
+    figures_1_and_2_routing()
+    figure_4_scatter_gather()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Data placement advisor — the paper's future work, implemented.
+
+Given the 22-query TPC-H workload and a budget of 5 replicas, the advisor
+greedily selects the tables whose replication maximizes the expected
+workload information value, and we compare it against no replication and a
+random pick (the paper's Section 4.2 setup).
+
+Run:  python examples/placement_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro import DiscountRates, PlacementAdvisor
+from repro.experiments import TpchSetup, placement_evaluator
+
+
+def main() -> None:
+    setup = TpchSetup(scale=0.001)  # smaller instance: advisor calls the
+    # optimizer (22 queries x sample times) once per candidate set.
+    rates = DiscountRates.symmetric(0.05)
+    evaluate = placement_evaluator(
+        setup, rates, sync_mean_interval=1.0, sample_times=(25.0, 60.0)
+    )
+
+    advisor = PlacementAdvisor(
+        candidate_tables=setup.instance.table_names,
+        evaluate=evaluate,
+        budget=5,
+        swap_passes=0,
+    )
+    recommendation = advisor.recommend()
+
+    none_value = evaluate(frozenset())
+    random_pick = frozenset(setup.replicated_for_ivqp())
+    random_value = evaluate(random_pick)
+
+    print("Replica placement for the TPC-H workload (budget: 5 tables)\n")
+    print(f"  no replication : expected IV {none_value:.4f}")
+    print(f"  random 5       : expected IV {random_value:.4f}  "
+          f"({', '.join(sorted(random_pick))})")
+    print(f"  advisor 5      : expected IV {recommendation.expected_value:.4f}  "
+          f"({', '.join(sorted(recommendation.replicas))})")
+    print("\nGreedy selection trace (value after adding each table):")
+    for table, value in recommendation.history:
+        print(f"    + {table:<14} -> {value:.4f}")
+
+    improvement = recommendation.expected_value - random_value
+    print(f"\nAdvisor beats random placement by {improvement:+.4f} expected IV "
+          f"({improvement / random_value:+.2%}).")
+
+
+if __name__ == "__main__":
+    main()

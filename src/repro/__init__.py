@@ -1,0 +1,85 @@
+"""repro — Information Value-driven Near Real-Time Decision Support Systems.
+
+A full reproduction of Yan, Li and Xu's ICDCS 2009 paper: the information
+value model, IVQP plan selection (scatter-and-gather), GA-based multi-query
+optimization, the hybrid federation substrate with synchronized replicas,
+a discrete-event simulation kernel, a mini relational engine, TPC-H-shaped
+and synthetic data/workloads, the Federation and Data Warehouse baselines,
+and harnesses regenerating every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import quickstart_system
+    system, queries = quickstart_system()
+    for query in queries[:3]:
+        system.submit(query, at=10.0 * query.query_id)
+    system.run()
+    for outcome in system.outcomes:
+        print(outcome.describe())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AgingPolicy,
+    DiscountRates,
+    IVQPOptimizer,
+    PlacementAdvisor,
+    QueryPlan,
+    information_value,
+)
+from repro.errors import ReproError
+from repro.federation import (
+    Catalog,
+    CostModel,
+    FederatedSystem,
+    NetworkModel,
+    SystemConfig,
+    TableSpec,
+    build_system,
+)
+from repro.mqo import GAConfig, WorkloadScheduler
+from repro.workload import DSSQuery, Workload, tpch_queries
+
+__all__ = [
+    "AgingPolicy",
+    "Catalog",
+    "CostModel",
+    "DSSQuery",
+    "DiscountRates",
+    "FederatedSystem",
+    "GAConfig",
+    "IVQPOptimizer",
+    "NetworkModel",
+    "PlacementAdvisor",
+    "QueryPlan",
+    "ReproError",
+    "SystemConfig",
+    "TableSpec",
+    "Workload",
+    "WorkloadScheduler",
+    "__version__",
+    "build_system",
+    "information_value",
+    "quickstart_system",
+    "tpch_queries",
+]
+
+
+def quickstart_system(scale: float = 0.002, sync_mean_interval: float = 1.0):
+    """A ready-to-run TPC-H federated DSS with the IVQP router.
+
+    Returns ``(system, queries)``: a built
+    :class:`~repro.federation.system.FederatedSystem` and the 22 TPC-H
+    queries, so a first experiment is three lines of code.
+    """
+    from repro.baselines import ivqp_router
+    from repro.experiments.config import TpchSetup
+
+    setup = TpchSetup(scale=scale)
+    config = setup.system_config(
+        approach="ivqp",
+        rates=DiscountRates(0.01, 0.01),
+        sync_mean_interval=sync_mean_interval,
+    )
+    system = build_system(config, ivqp_router)
+    return system, setup.queries()

@@ -1,0 +1,23 @@
+"""Comparison approaches from Section 4.1 plus the IVQP router factory.
+
+* **Federation** — no replicas at the DSS: every query is decomposed and
+  executed at the remote servers, immediately.
+* **Data Warehouse** — every base table has a local replica; queries are
+  answered entirely from replicas, immediately, never contacting remote
+  servers.
+* **IVQP** — the paper's information value-driven router.
+"""
+
+from repro.baselines.federation import FederationRouter, federation_router
+from repro.baselines.ivqp import ivqp_router
+from repro.baselines.replay import ReplayRouter
+from repro.baselines.warehouse import WarehouseRouter, warehouse_router
+
+__all__ = [
+    "FederationRouter",
+    "ReplayRouter",
+    "WarehouseRouter",
+    "federation_router",
+    "ivqp_router",
+    "warehouse_router",
+]

@@ -1,0 +1,54 @@
+"""The Federation baseline (Section 4.1).
+
+"In the federation approach, all tables are stored at the remote servers
+and no replicas are present at the DSS server, and all queries are
+decomposed and executed at remote servers."  The router therefore always
+produces the all-base, immediate plan, regardless of any replicas that may
+exist in the catalog.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.enumeration import CostProvider, make_plan
+from repro.core.plan import QueryPlan
+from repro.core.value import DiscountRates
+from repro.federation.catalog import Catalog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.query import DSSQuery
+
+__all__ = ["FederationRouter", "federation_router"]
+
+
+class FederationRouter:
+    """Always execute immediately against the remote base tables."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_provider: CostProvider,
+        default_rates: DiscountRates,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_provider = cost_provider
+        self.default_rates = default_rates
+
+    def choose_plan(self, query: "DSSQuery", submitted_at: float) -> QueryPlan:
+        """All tables remote, start now."""
+        rates = query.rates if query.rates is not None else self.default_rates
+        return make_plan(
+            query,
+            self.catalog,
+            self.cost_provider,
+            rates,
+            submitted_at=submitted_at,
+            start_time=submitted_at,
+            remote_tables=frozenset(query.tables),
+        )
+
+
+def federation_router(catalog, cost_model, rates) -> FederationRouter:
+    """Router factory for :func:`repro.federation.system.build_system`."""
+    return FederationRouter(catalog, cost_model, rates)

@@ -1,0 +1,12 @@
+"""Router factory for the paper's IVQP approach."""
+
+from __future__ import annotations
+
+from repro.core.optimizer import IVQPOptimizer
+
+__all__ = ["ivqp_router"]
+
+
+def ivqp_router(catalog, cost_model, rates) -> IVQPOptimizer:
+    """Build the information value-driven router (Section 3.1)."""
+    return IVQPOptimizer(catalog, cost_model, rates)

@@ -1,0 +1,67 @@
+"""Replay routing: execute precomputed plans verbatim.
+
+A :class:`ReplayRouter` hands the executor plans chosen earlier — by the
+MQO scheduler, a routing table, or a recorded run — instead of optimizing
+at submission time.  This is how an MQO decision (an analytic schedule) is
+realized inside the discrete-event simulation, and how the tests
+cross-validate the analytic evaluator against the DES.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.query import DSSQuery
+
+__all__ = ["ReplayRouter"]
+
+
+class ReplayRouter:
+    """Routes each query to a fixed, precomputed plan."""
+
+    def __init__(self, plans: dict["DSSQuery", QueryPlan]) -> None:
+        for query, plan in plans.items():
+            if plan.query is not query:
+                raise PlanError(
+                    f"plan for {query.name!r} was built for a different "
+                    "query object"
+                )
+        self._plans = dict(plans)
+
+    @classmethod
+    def from_assignments(
+        cls, assignments, enforce_schedule: bool = False
+    ) -> "ReplayRouter":
+        """Build from MQO :class:`~repro.mqo.evaluator.Assignment` objects.
+
+        With ``enforce_schedule=True`` each plan's start time is lifted to
+        the assignment's scheduled ``begin``, so a discrete-event run
+        honours the decided execution *order* instead of racing queries
+        into the server queues at their arrival instants.  Without it, the
+        recorded plans keep their own (possibly earlier) start times.
+        """
+        import dataclasses
+
+        plans: dict = {}
+        for assignment in assignments:
+            plan = assignment.plan
+            if enforce_schedule and assignment.begin > plan.start_time:
+                plan = dataclasses.replace(plan, start_time=assignment.begin)
+            plans[assignment.query] = plan
+        return cls(plans)
+
+    def choose_plan(self, query: "DSSQuery", submitted_at: float) -> QueryPlan:
+        """The recorded plan; submission must not precede the plan's."""
+        plan = self._plans.get(query)
+        if plan is None:
+            raise PlanError(f"no recorded plan for query {query.name!r}")
+        if submitted_at > plan.start_time + 1e-9:
+            raise PlanError(
+                f"replaying {query.name!r} at t={submitted_at} but its plan "
+                f"starts at t={plan.start_time}"
+            )
+        return plan

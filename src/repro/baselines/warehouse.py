@@ -1,0 +1,63 @@
+"""The Data Warehouse baseline (Section 4.1).
+
+"The data warehousing approach maintains a replica at the DSS server for
+each base table at the remote servers and answers queries using these
+replicas without communicating with the remote servers."  The router
+therefore requires full replication of every table a query reads and
+always produces the all-replica, immediate plan.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.enumeration import CostProvider, make_plan
+from repro.core.plan import QueryPlan
+from repro.core.value import DiscountRates
+from repro.errors import PlanError
+from repro.federation.catalog import Catalog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.query import DSSQuery
+
+__all__ = ["WarehouseRouter", "warehouse_router"]
+
+
+class WarehouseRouter:
+    """Always answer immediately from local replicas."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_provider: CostProvider,
+        default_rates: DiscountRates,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_provider = cost_provider
+        self.default_rates = default_rates
+
+    def choose_plan(self, query: "DSSQuery", submitted_at: float) -> QueryPlan:
+        """All tables from replicas, start now."""
+        missing = [
+            name for name in query.tables if not self.catalog.has_replica(name)
+        ]
+        if missing:
+            raise PlanError(
+                f"warehouse baseline needs every table replicated; "
+                f"missing: {missing} (query {query.name!r})"
+            )
+        rates = query.rates if query.rates is not None else self.default_rates
+        return make_plan(
+            query,
+            self.catalog,
+            self.cost_provider,
+            rates,
+            submitted_at=submitted_at,
+            start_time=submitted_at,
+            remote_tables=frozenset(),
+        )
+
+
+def warehouse_router(catalog, cost_model, rates) -> WarehouseRouter:
+    """Router factory for :func:`repro.federation.system.build_system`."""
+    return WarehouseRouter(catalog, cost_model, rates)

@@ -1,0 +1,57 @@
+"""The paper's core contribution: information values and IVQP.
+
+* :mod:`repro.core.value` — the IV formula and discount machinery.
+* :mod:`repro.core.plan` — table versions and query plans.
+* :mod:`repro.core.enumeration` — candidate generation with dominance
+  pruning (Figure 3) and the exhaustive oracle.
+* :mod:`repro.core.optimizer` — the scatter-and-gather search (Figure 4).
+* :mod:`repro.core.aging` — starvation prevention (Section 3.3).
+* :mod:`repro.core.advisor` — the data placement advisor (future work).
+"""
+
+from repro.core.aging import AgingPolicy
+from repro.core.advisor import PlacementAdvisor, PlacementRecommendation
+from repro.core.enumeration import (
+    all_combos,
+    enumerate_plans,
+    gather_combos,
+    make_plan,
+    split_tables,
+    sync_points_between,
+)
+from repro.core.explain import RouteComparison, explain_choice
+from repro.core.optimizer import IVQPOptimizer, SearchDiagnostics
+from repro.core.plan import QueryPlan, TableVersion, VersionKind
+from repro.core.routing import PlanShape, PrecomputedRouter, RoutingTable
+from repro.core.value import (
+    DiscountRates,
+    discount_factor,
+    information_value,
+    max_tolerable_latency,
+)
+
+__all__ = [
+    "AgingPolicy",
+    "DiscountRates",
+    "IVQPOptimizer",
+    "PlacementAdvisor",
+    "PlacementRecommendation",
+    "PlanShape",
+    "PrecomputedRouter",
+    "QueryPlan",
+    "RouteComparison",
+    "RoutingTable",
+    "SearchDiagnostics",
+    "TableVersion",
+    "VersionKind",
+    "all_combos",
+    "discount_factor",
+    "enumerate_plans",
+    "explain_choice",
+    "gather_combos",
+    "information_value",
+    "make_plan",
+    "max_tolerable_latency",
+    "split_tables",
+    "sync_points_between",
+]

@@ -1,0 +1,119 @@
+"""Data placement advisor (the paper's stated future work, Section 6).
+
+"The future work includes developing a data placement advisor to recommend
+table placement and replication strategies to further improve an overall
+information value."  This module implements that advisor: given a candidate
+table universe, a replica budget, and an evaluation function scoring a
+replica set by the expected workload information value it yields, it runs
+greedy forward selection followed by a swap-based local search.
+
+The evaluator is injected (see
+:func:`repro.experiments.ablations.placement_evaluator` for the standard
+one built on the IVQP optimizer) so the advisor itself stays decoupled from
+system construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+
+__all__ = ["PlacementRecommendation", "PlacementAdvisor"]
+
+Evaluator = Callable[[frozenset[str]], float]
+
+
+@dataclass
+class PlacementRecommendation:
+    """The advisor's output."""
+
+    replicas: frozenset[str]
+    expected_value: float
+    history: list[tuple[str, float]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"recommended replicas ({len(self.replicas)}): "
+            + ", ".join(sorted(self.replicas)),
+            f"expected workload IV: {self.expected_value:.4f}",
+        ]
+        for table, value in self.history:
+            lines.append(f"  + {table}: {value:.4f}")
+        return "\n".join(lines)
+
+
+class PlacementAdvisor:
+    """Greedy + swap local-search replica selection."""
+
+    def __init__(
+        self,
+        candidate_tables: Sequence[str],
+        evaluate: Evaluator,
+        budget: int,
+        swap_passes: int = 1,
+    ) -> None:
+        if budget < 0:
+            raise OptimizationError(f"budget must be >= 0, got {budget}")
+        if budget > len(candidate_tables):
+            raise OptimizationError(
+                f"budget {budget} exceeds {len(candidate_tables)} candidates"
+            )
+        if swap_passes < 0:
+            raise OptimizationError("swap_passes must be >= 0")
+        self.candidates = list(dict.fromkeys(candidate_tables))
+        if len(self.candidates) != len(candidate_tables):
+            raise OptimizationError("candidate tables contain duplicates")
+        self.evaluate = evaluate
+        self.budget = budget
+        self.swap_passes = swap_passes
+
+    def recommend(self) -> PlacementRecommendation:
+        """Pick up to ``budget`` tables to replicate."""
+        chosen: set[str] = set()
+        history: list[tuple[str, float]] = []
+        current_value = self.evaluate(frozenset())
+
+        # Greedy forward selection.
+        for _slot in range(self.budget):
+            best_table = None
+            best_value = current_value
+            for table in self.candidates:
+                if table in chosen:
+                    continue
+                value = self.evaluate(frozenset(chosen | {table}))
+                if value > best_value:
+                    best_value = value
+                    best_table = table
+            if best_table is None:
+                break  # no candidate improves the workload IV
+            chosen.add(best_table)
+            current_value = best_value
+            history.append((best_table, best_value))
+
+        # Swap local search: try replacing each chosen table with each
+        # unchosen one; keep any strict improvement.
+        for _pass in range(self.swap_passes):
+            improved = False
+            for inside in sorted(chosen):
+                for outside in self.candidates:
+                    if outside in chosen:
+                        continue
+                    trial = frozenset((chosen - {inside}) | {outside})
+                    value = self.evaluate(trial)
+                    if value > current_value:
+                        chosen = set(trial)
+                        current_value = value
+                        history.append((f"{inside}->{outside}", value))
+                        improved = True
+                        break
+            if not improved:
+                break
+
+        return PlacementRecommendation(
+            replicas=frozenset(chosen),
+            expected_value=current_value,
+            history=history,
+        )

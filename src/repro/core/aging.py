@@ -1,0 +1,80 @@
+"""Starvation prevention via aging (paper Section 3.3).
+
+The IV formula favours immediate execution: the *marginal* loss of delaying
+a query shrinks as it waits (``(1−λ)^t`` flattens), so under heavy load the
+scheduler keeps postponing the same long-waiting queries.  The paper's fix
+"adapt[s] the information value formula by adding a function of time values
+to increase the information value of queries queued for a period", designed
+to grow *faster* than the SL/CL discounts shrink.
+
+:class:`AgingPolicy` implements that boost as an exponential ramp::
+
+    g(w) = BV × ((1 + β)^w − 1)
+
+whose growth rate β must exceed the discount rates so that, past some wait,
+priority strictly increases with waiting time.  The boost affects only the
+*scheduling priority*; the reported information value of a result is always
+the undoctored IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.value import DiscountRates
+from repro.errors import ConfigError
+
+__all__ = ["AgingPolicy"]
+
+
+@dataclass(frozen=True)
+class AgingPolicy:
+    """Exponential aging boost for queued queries.
+
+    Attributes
+    ----------
+    beta:
+        Per-minute growth rate of the boost.  Must be positive; to satisfy
+        the paper's "faster than the discounts" requirement choose
+        ``beta > max(λ_CL, λ_SL)`` (checked by :meth:`validate_against`).
+    grace_period:
+        Waiting time (minutes) before the boost starts accruing.
+    """
+
+    beta: float = 0.2
+    grace_period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ConfigError(f"aging beta must be > 0, got {self.beta}")
+        if self.grace_period < 0:
+            raise ConfigError("grace period must be >= 0")
+
+    def validate_against(self, rates: DiscountRates) -> None:
+        """Check the paper's growth condition against given discount rates."""
+        fastest = max(rates.computational, rates.synchronization)
+        if self.beta <= fastest:
+            raise ConfigError(
+                f"aging beta {self.beta} must exceed the largest discount "
+                f"rate {fastest} to outpace the IV decay (Section 3.3)"
+            )
+
+    def boost(self, business_value: float, waited: float) -> float:
+        """The additive priority boost after ``waited`` minutes in queue."""
+        if business_value < 0:
+            raise ConfigError("business value must be >= 0")
+        if waited < 0:
+            raise ConfigError("waited must be >= 0")
+        effective = max(0.0, waited - self.grace_period)
+        if effective == 0.0:
+            return 0.0
+        return business_value * ((1.0 + self.beta) ** effective - 1.0)
+
+    def priority(
+        self,
+        information_value: float,
+        business_value: float,
+        waited: float,
+    ) -> float:
+        """Scheduling priority: IV plus the aging boost."""
+        return information_value + self.boost(business_value, waited)

@@ -1,0 +1,121 @@
+"""Plan explanation: why IVQP chose what it chose.
+
+Decision-support users (and paper readers) want the Figure 1/2 trade-off
+made visible per query: what would the all-remote plan have cost, what
+would the replicas have given, was waiting for a synchronization worth it.
+:func:`explain_choice` runs the optimizer, evaluates the canonical
+alternatives at the same submission instant, and reports them side by side.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.enumeration import CostProvider, make_plan, split_tables
+from repro.core.optimizer import IVQPOptimizer
+from repro.core.plan import QueryPlan
+from repro.core.value import DiscountRates
+from repro.federation.catalog import Catalog
+from repro.reporting.tables import ResultTable
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.query import DSSQuery
+
+__all__ = ["RouteComparison", "explain_choice"]
+
+
+class RouteComparison:
+    """The chosen plan next to its canonical alternatives."""
+
+    def __init__(
+        self,
+        chosen: QueryPlan,
+        alternatives: dict[str, QueryPlan],
+    ) -> None:
+        self.chosen = chosen
+        self.alternatives = dict(alternatives)
+
+    @property
+    def chosen_label(self) -> str:
+        """Which canonical route (if any) the chosen plan matches."""
+        for label, plan in self.alternatives.items():
+            if (
+                plan.remote_tables == self.chosen.remote_tables
+                and abs(plan.start_time - self.chosen.start_time) < 1e-9
+            ):
+                return label
+        return "custom-mix"
+
+    def margin_over(self, label: str) -> float:
+        """IV advantage of the chosen plan over one alternative."""
+        return (
+            self.chosen.information_value
+            - self.alternatives[label].information_value
+        )
+
+    def as_table(self) -> ResultTable:
+        """The comparison as a printable table (chosen row first)."""
+        table = ResultTable(
+            title=f"Route comparison for {self.chosen.query.name!r} "
+            f"at t={self.chosen.submitted_at:g}",
+            headers=["route", "remote_tables", "start", "cl", "sl", "iv"],
+        )
+
+        def add(label: str, plan: QueryPlan) -> None:
+            table.add(
+                label,
+                ",".join(sorted(plan.remote_tables)) or "(none)",
+                plan.start_time,
+                plan.computational_latency,
+                plan.synchronization_latency,
+                plan.information_value,
+            )
+
+        add(f"CHOSEN ({self.chosen_label})", self.chosen)
+        for label, plan in self.alternatives.items():
+            add(label, plan)
+        return table
+
+
+def explain_choice(
+    query: "DSSQuery",
+    catalog: Catalog,
+    cost_provider: CostProvider,
+    rates: DiscountRates,
+    submitted_at: float,
+) -> RouteComparison:
+    """Run IVQP and line its choice up against the canonical routes.
+
+    Alternatives reported:
+
+    * ``all-remote`` — every table from its base copy, immediately (the
+      Federation baseline's plan);
+    * ``all-replica`` — every table from its replica, immediately (the
+      Data Warehouse plan; present only under full replication);
+    * ``delayed-replica`` — the all-replica plan started at the *next*
+      synchronization completion (Figure 2's delayed option).
+    """
+    optimizer = IVQPOptimizer(catalog, cost_provider, rates)
+    chosen = optimizer.choose_plan(query, submitted_at)
+
+    alternatives: dict[str, QueryPlan] = {}
+    alternatives["all-remote"] = make_plan(
+        query, catalog, cost_provider, rates,
+        submitted_at, submitted_at, frozenset(query.tables),
+    )
+    replicated, base_only = split_tables(query, catalog)
+    if not base_only:
+        alternatives["all-replica"] = make_plan(
+            query, catalog, cost_provider, rates,
+            submitted_at, submitted_at, frozenset(),
+        )
+    if replicated:
+        next_sync = min(
+            catalog.replica(name).next_sync_after(submitted_at)
+            for name in replicated
+        )
+        alternatives["delayed-replica"] = make_plan(
+            query, catalog, cost_provider, rates,
+            submitted_at, next_sync, frozenset(base_only),
+        )
+    return RouteComparison(chosen, alternatives)

@@ -1,0 +1,153 @@
+"""Query plans over table versions (paper Sections 2–3.1).
+
+A plan fixes, for every table a query reads, *which version* is read —
+the remote **base** table or the local **replica** — and *when* execution
+starts.  Starting later than submission is the paper's "delayed execution":
+it waits for a scheduled synchronization so replicas are fresher.
+
+Freshness bookkeeping follows Section 2:
+
+* a base table read by a plan starting at ``t_s`` has freshness ``t_s``
+  (the data may change as soon as execution starts, so the synchronization
+  latency of a remote read equals the time from execution start to result
+  receipt);
+* a replica has the freshness of its last completed synchronization at
+  ``t_s``.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from dataclasses import dataclass
+
+from repro.core.value import DiscountRates, information_value
+from repro.errors import PlanError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.costmodel import ComboCost
+    from repro.workload.query import DSSQuery
+
+__all__ = ["VersionKind", "TableVersion", "QueryPlan"]
+
+
+class VersionKind(str, enum.Enum):
+    """Which copy of a table a plan reads."""
+
+    BASE = "base"
+    REPLICA = "replica"
+
+
+@dataclass(frozen=True)
+class TableVersion:
+    """One table's chosen version inside a plan."""
+
+    table: str
+    kind: VersionKind
+    freshness: float
+
+    def __post_init__(self) -> None:
+        if self.freshness < 0:
+            raise PlanError(
+                f"version of {self.table!r} has negative freshness "
+                f"{self.freshness}"
+            )
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A fully specified evaluation plan with estimated latencies and IV.
+
+    The estimates assume an uncontended system (queuing time zero); the
+    executor and the MQO evaluator account for contention separately.
+    """
+
+    query: "DSSQuery"
+    versions: tuple[TableVersion, ...]
+    submitted_at: float
+    start_time: float
+    cost: ComboCost
+    rates: DiscountRates
+
+    def __post_init__(self) -> None:
+        if self.start_time < self.submitted_at:
+            raise PlanError("plan cannot start before the query is submitted")
+        covered = {version.table for version in self.versions}
+        if covered != set(self.query.tables):
+            raise PlanError(
+                f"plan for {self.query.name!r} covers {sorted(covered)} but "
+                f"the query reads {sorted(self.query.tables)}"
+            )
+        if len(covered) != len(self.versions):
+            raise PlanError(f"plan for {self.query.name!r} repeats a table")
+
+    # -- composition ------------------------------------------------------
+
+    @property
+    def remote_tables(self) -> frozenset[str]:
+        """Tables read from their remote base copy."""
+        return frozenset(
+            version.table
+            for version in self.versions
+            if version.kind is VersionKind.BASE
+        )
+
+    @property
+    def replica_tables(self) -> frozenset[str]:
+        """Tables read from local replicas."""
+        return frozenset(
+            version.table
+            for version in self.versions
+            if version.kind is VersionKind.REPLICA
+        )
+
+    @property
+    def delayed(self) -> bool:
+        """Whether the plan waits for a future synchronization point."""
+        return self.start_time > self.submitted_at
+
+    # -- latency estimates ---------------------------------------------------
+
+    @property
+    def completion_time(self) -> float:
+        """Estimated result receipt time (no contention)."""
+        return self.start_time + self.cost.processing + self.cost.transmission
+
+    @property
+    def oldest_freshness(self) -> float:
+        """Freshness of the stalest version read — this decides SL."""
+        return min(version.freshness for version in self.versions)
+
+    @property
+    def computational_latency(self) -> float:
+        """Estimated CL: submission to result receipt (includes waiting)."""
+        return self.completion_time - self.submitted_at
+
+    @property
+    def synchronization_latency(self) -> float:
+        """Estimated SL: stalest version's sync point to result receipt."""
+        return max(0.0, self.completion_time - self.oldest_freshness)
+
+    @property
+    def information_value(self) -> float:
+        """Estimated IV of this plan's report."""
+        return information_value(
+            self.query.business_value,
+            self.computational_latency,
+            self.synchronization_latency,
+            self.rates,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        marks = ",".join(
+            f"{v.table}{'[R]' if v.kind is VersionKind.REPLICA else '[T]'}"
+            for v in sorted(self.versions, key=lambda v: v.table)
+        )
+        delay = f" delayed->{self.start_time:.2f}" if self.delayed else ""
+        return (
+            f"{self.query.name}: {marks}{delay} "
+            f"CL={self.computational_latency:.2f} "
+            f"SL={self.synchronization_latency:.2f} "
+            f"IV={self.information_value:.4f}"
+        )

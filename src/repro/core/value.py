@@ -1,0 +1,116 @@
+"""The Information Value model (paper Section 2).
+
+A report's *business value* is discounted by two latencies, in the style of
+present-value analysis::
+
+    IV = BusinessValue × (1 − λ_CL)^CL × (1 − λ_SL)^SL
+
+* ``CL`` — computational latency: queuing + processing + transmission time.
+* ``SL`` — synchronization latency: from the last synchronization of the
+  stalest table version a plan reads until the result is received.
+* ``λ_CL``, ``λ_SL`` — per-minute discount rates expressing how quickly a
+  report loses value to each kind of delay (user preferences).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DiscountRates",
+    "information_value",
+    "discount_factor",
+    "max_tolerable_latency",
+]
+
+
+@dataclass(frozen=True)
+class DiscountRates:
+    """Per-minute discount rates for the two latency kinds.
+
+    The paper's experiments use rates in {0.01, 0.05, 0.1, 0.15}.
+    """
+
+    computational: float
+    synchronization: float
+
+    def __post_init__(self) -> None:
+        for label, rate in (
+            ("computational", self.computational),
+            ("synchronization", self.synchronization),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(
+                    f"{label} discount rate must be in [0, 1), got {rate}"
+                )
+
+    @classmethod
+    def symmetric(cls, rate: float) -> "DiscountRates":
+        """Both rates equal (the paper's λ_SL = λ_CL settings)."""
+        return cls(rate, rate)
+
+
+def discount_factor(rate: float, latency: float) -> float:
+    """``(1 − rate)^latency`` for a non-negative latency in minutes."""
+    if latency < 0:
+        raise ConfigError(f"latency must be >= 0, got {latency}")
+    if rate == 0.0:
+        return 1.0
+    return (1.0 - rate) ** latency
+
+
+def information_value(
+    business_value: float,
+    computational_latency: float,
+    synchronization_latency: float,
+    rates: DiscountRates,
+) -> float:
+    """The paper's IV formula (Section 2).
+
+    Parameters
+    ----------
+    business_value:
+        The user-assigned importance of the report (full value at zero
+        latency).
+    computational_latency, synchronization_latency:
+        Minutes of CL and SL incurred by the chosen plan.
+    rates:
+        The user's discount-rate preferences.
+    """
+    if business_value < 0:
+        raise ConfigError(f"business value must be >= 0, got {business_value}")
+    return (
+        business_value
+        * discount_factor(rates.computational, computational_latency)
+        * discount_factor(rates.synchronization, synchronization_latency)
+    )
+
+
+def max_tolerable_latency(
+    business_value: float,
+    incumbent_value: float,
+    rate: float,
+) -> float:
+    """Longest latency that could still match an incumbent IV (Section 3.1).
+
+    The scatter-and-gather bound: assuming the *other* latency discounts
+    nothing, a plan with latency ``L`` can only beat ``incumbent_value`` if
+    ``BV × (1 − rate)^L ≥ incumbent_value``, i.e. ::
+
+        L ≤ log(incumbent_value / BV) / log(1 − rate)
+
+    Returns ``inf`` for a zero rate or a non-positive incumbent (nothing to
+    beat), and ``0`` when the incumbent already equals the full business
+    value.
+    """
+    if business_value <= 0:
+        raise ConfigError("business value must be > 0 to bound the search")
+    if incumbent_value <= 0 or rate <= 0.0:
+        return math.inf
+    ratio = incumbent_value / business_value
+    if ratio >= 1.0:
+        return 0.0
+    return math.log(ratio) / math.log(1.0 - rate)

@@ -1,0 +1,28 @@
+"""Data generators: TPC-H micro-instances, synthetic schemas, placements."""
+
+from repro.data.placement import (
+    round_robin_placement,
+    skewed_placement,
+    uniform_placement,
+)
+from repro.data.synthetic import SyntheticInstance, generate_synthetic
+from repro.data.tpch import (
+    LINEITEM_PARTITIONS,
+    TPCH_SCHEMAS,
+    TpchInstance,
+    generate_tpch,
+    lineitem_partition_names,
+)
+
+__all__ = [
+    "LINEITEM_PARTITIONS",
+    "TPCH_SCHEMAS",
+    "SyntheticInstance",
+    "TpchInstance",
+    "generate_synthetic",
+    "generate_tpch",
+    "lineitem_partition_names",
+    "round_robin_placement",
+    "skewed_placement",
+    "uniform_placement",
+]

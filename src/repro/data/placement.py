@@ -1,0 +1,75 @@
+"""Table-to-site placement policies.
+
+Section 4.3 distributes tables over remote sites either **uniformly** or
+**skewed** — "1/2 of the tables will be in site 0, 1/4 in site 1 and 1/8 in
+site 2 ...".  These helpers compute such placements deterministically so the
+federation system builder and the experiments share one definition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+from repro.sim.rng import RandomSource
+
+__all__ = ["uniform_placement", "skewed_placement", "round_robin_placement"]
+
+
+def _check(tables: Sequence[str], num_sites: int) -> None:
+    if num_sites < 1:
+        raise ConfigError(f"need at least one site, got {num_sites}")
+    if not tables:
+        raise ConfigError("placement needs at least one table")
+
+
+def round_robin_placement(tables: Sequence[str], num_sites: int) -> dict[str, int]:
+    """Deal tables across sites in order: table ``i`` → site ``i % num_sites``."""
+    _check(tables, num_sites)
+    return {table: index % num_sites for index, table in enumerate(tables)}
+
+
+def uniform_placement(
+    tables: Sequence[str],
+    num_sites: int,
+    rng: RandomSource | None = None,
+) -> dict[str, int]:
+    """Each table independently picks a site uniformly at random.
+
+    With no ``rng`` this degrades to round-robin (still uniform in load).
+    """
+    _check(tables, num_sites)
+    if rng is None:
+        return round_robin_placement(tables, num_sites)
+    return {table: rng.randint(0, num_sites - 1) for table in tables}
+
+
+def skewed_placement(
+    tables: Sequence[str],
+    num_sites: int,
+    rng: RandomSource | None = None,
+) -> dict[str, int]:
+    """Geometric placement: half the tables on site 0, a quarter on site 1, ...
+
+    The remainder after the geometric cascade lands on the last site, matching
+    the paper's "1/2 ... in site 0, 1/4 in site 1 and 1/8 in site 2 ..." rule.
+    """
+    _check(tables, num_sites)
+    ordered = list(tables)
+    if rng is not None:
+        rng.shuffle(ordered)
+    placement: dict[str, int] = {}
+    start = 0
+    remaining = len(ordered)
+    for site in range(num_sites):
+        if site == num_sites - 1:
+            quota = remaining
+        else:
+            quota = max(1, remaining // 2) if remaining else 0
+        for table in ordered[start:start + quota]:
+            placement[table] = site
+        start += quota
+        remaining -= quota
+        if remaining <= 0:
+            break
+    return placement

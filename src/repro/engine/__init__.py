@@ -1,0 +1,79 @@
+"""Mini relational engine.
+
+A small but real query processor — schemas, in-memory tables, expression
+trees, hash joins, aggregation, a statistics-driven greedy planner — used to
+(1) execute the example reports and (2) calibrate the federation cost model
+from actual row counts, as the paper's Section 3.1 "compile the query ...
+in advance" step assumes.
+"""
+
+from repro.engine.expr import And, Arith, Col, Compare, Const, Expr, Not, Or
+from repro.engine.ops import (
+    AggSpec,
+    Aggregate,
+    AntiJoin,
+    Distinct,
+    ExecutionStats,
+    Filter,
+    HashJoin,
+    Limit,
+    Operator,
+    Project,
+    Scan,
+    SemiJoin,
+    Sort,
+)
+from repro.engine.views import UnionTable
+from repro.engine.planner import CostEstimate, Database, PhysicalPlan, Planner
+from repro.engine.query import LogicalQuery, QueryBuilder
+from repro.engine.schema import Column, DType, TableSchema
+from repro.engine.stats import (
+    ColumnStats,
+    TableStats,
+    estimate_selectivity,
+    join_selectivity,
+)
+from repro.engine.table import Table
+
+__all__ = [
+    "AggSpec",
+    "Aggregate",
+    "And",
+    "AntiJoin",
+    "Arith",
+    "Col",
+    "Column",
+    "ColumnStats",
+    "Compare",
+    "Const",
+    "CostEstimate",
+    "Database",
+    "Distinct",
+    "DType",
+    "ExecutionStats",
+    "Expr",
+    "Filter",
+    "HashJoin",
+    "Limit",
+    "LogicalQuery",
+    "Not",
+    "Operator",
+    "Or",
+    "PhysicalPlan",
+    "Planner",
+    "Project",
+    "QueryBuilder",
+    "Scan",
+    "Schema",
+    "SemiJoin",
+    "Sort",
+    "Table",
+    "TableSchema",
+    "TableStats",
+    "UnionTable",
+    "estimate_selectivity",
+    "join_selectivity",
+]
+
+# "Schema" is a friendlier alias some examples use.
+Schema = TableSchema

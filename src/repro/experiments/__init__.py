@@ -1,0 +1,82 @@
+"""Per-figure experiment harnesses and the CLI."""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    placement_evaluator,
+    run_advisor_ablation,
+    run_aging_ablation,
+    run_ga_ablation,
+    run_routing_ablation,
+    run_search_ablation,
+)
+from repro.experiments.config import (
+    FQ_FS_RATIOS,
+    LAMBDA_COMBOS,
+    QUERY_MEAN_INTERARRIVAL,
+    SyntheticSetup,
+    TpchSetup,
+    sync_interval_for_ratio,
+)
+from repro.experiments.fig4_walkthrough import Fig4Config, build_fig4_world, run_fig4
+from repro.experiments.fig5 import Fig5Config, run_fig5, run_fig5_cell_ci
+from repro.experiments.fig6 import Fig6Config, run_fig6, select_mid_cost_queries
+from repro.experiments.fig7 import Fig7Config, run_fig7
+from repro.experiments.fig8 import Fig8Config, run_fig8
+from repro.experiments.fig9 import Fig9Config, run_fig9a, run_fig9b
+from repro.experiments.load import LoadConfig, run_load_sweep
+from repro.experiments.replication import MeanCI, replicate, summarize
+from repro.experiments.sensitivity import (
+    SensitivityConfig,
+    classify_plan,
+    run_sensitivity,
+)
+from repro.experiments.runner import (
+    APPROACHES,
+    RunResult,
+    run_single_queries,
+    run_stream,
+)
+
+__all__ = [
+    "APPROACHES",
+    "AblationConfig",
+    "FQ_FS_RATIOS",
+    "Fig4Config",
+    "Fig5Config",
+    "Fig6Config",
+    "Fig7Config",
+    "Fig8Config",
+    "Fig9Config",
+    "LAMBDA_COMBOS",
+    "LoadConfig",
+    "MeanCI",
+    "QUERY_MEAN_INTERARRIVAL",
+    "RunResult",
+    "SensitivityConfig",
+    "SyntheticSetup",
+    "TpchSetup",
+    "classify_plan",
+    "build_fig4_world",
+    "placement_evaluator",
+    "run_advisor_ablation",
+    "run_aging_ablation",
+    "run_fig4",
+    "run_fig5",
+    "run_fig5_cell_ci",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9a",
+    "run_fig9b",
+    "run_ga_ablation",
+    "replicate",
+    "run_load_sweep",
+    "run_routing_ablation",
+    "run_search_ablation",
+    "run_sensitivity",
+    "run_single_queries",
+    "run_stream",
+    "select_mid_cost_queries",
+    "summarize",
+    "sync_interval_for_ratio",
+]

@@ -1,0 +1,123 @@
+"""Figure 5 — Information value vs synchronization frequency.
+
+TPC-H, 12 tables (LineItem split into 5), 5 random replicas for IVQP.
+For each Fq:Fs ratio in {1:0.1, 1:1, 1:10, 1:20} and each (λ_SL, λ_CL) in
+{(.01,.01), (.01,.05), (.05,.01), (.05,.05)}, report the mean information
+value of IVQP, Federation and Data Warehouse over a Poisson query stream.
+
+Expected shape (paper Section 4.2): IVQP highest everywhere; Data Warehouse
+improves as synchronization gets more frequent and overtakes Federation at
+1:20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.value import DiscountRates
+from repro.experiments.config import (
+    FQ_FS_RATIOS,
+    LAMBDA_COMBOS,
+    QUERY_MEAN_INTERARRIVAL,
+    TpchSetup,
+    sync_interval_for_ratio,
+)
+from repro.experiments.runner import run_stream
+from repro.reporting.tables import ResultTable
+
+__all__ = ["Fig5Config", "run_fig5", "run_fig5_cell_ci"]
+
+
+@dataclass
+class Fig5Config:
+    """Parameters of the Figure 5 sweep."""
+
+    setup: TpchSetup = field(default_factory=TpchSetup)
+    ratios: dict[str, float] = field(default_factory=lambda: dict(FQ_FS_RATIOS))
+    lambdas: list[tuple[float, float]] = field(
+        default_factory=lambda: list(LAMBDA_COMBOS)
+    )
+    approaches: tuple[str, ...] = (
+        "ivqp", "ivqp-partial", "federation", "warehouse"
+    )
+    rounds: int = 3
+    arrival_seed: int = 3
+    system_seed: int = 1
+
+
+def run_fig5_cell_ci(
+    ratio_label: str = "1:10",
+    lambdas: tuple[float, float] = (0.05, 0.05),
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    setup: TpchSetup | None = None,
+) -> ResultTable:
+    """One Figure 5 cell replicated across arrival seeds, with 95% CIs.
+
+    The paper reports single numbers; this helper quantifies the run-to-run
+    spread behind one (ratio, λ) cell so the IVQP-vs-baseline gap can be
+    judged against simulation noise.
+    """
+    from repro.experiments.replication import replicate
+
+    setup = setup or TpchSetup()
+    lambda_sl, lambda_cl = lambdas
+    rates = DiscountRates(computational=lambda_cl, synchronization=lambda_sl)
+    interval = sync_interval_for_ratio(FQ_FS_RATIOS[ratio_label])
+    queries = setup.queries()
+    table = ResultTable(
+        title=(
+            f"Figure 5 cell {ratio_label}, lambda_sl={lambda_sl}, "
+            f"lambda_cl={lambda_cl}: mean IV with 95% CI over "
+            f"{len(seeds)} arrival seeds"
+        ),
+        headers=["approach", "mean_iv", "ci_half_width", "seeds"],
+    )
+    for approach in ("ivqp", "federation", "warehouse"):
+        system_config = setup.system_config(
+            approach=approach, rates=rates, sync_mean_interval=interval
+        )
+        ci = replicate(
+            lambda seed: run_stream(
+                system_config, approach, queries,
+                mean_interarrival=QUERY_MEAN_INTERARRIVAL,
+                rounds=1, arrival_seed=seed,
+            ).mean_iv,
+            seeds=list(seeds),
+        )
+        table.add(approach, ci.mean, ci.half_width, ci.samples)
+    return table
+
+
+def run_fig5(config: Fig5Config | None = None) -> ResultTable:
+    """Run the full Figure 5 sweep and return its result table."""
+    config = config or Fig5Config()
+    table = ResultTable(
+        title="Figure 5: mean information value (TPC-H)",
+        headers=["fq_fs", "lambda_sl", "lambda_cl", "approach", "mean_iv"],
+    )
+    queries = config.setup.queries()
+    for ratio_label, multiplier in config.ratios.items():
+        interval = sync_interval_for_ratio(multiplier)
+        for lambda_sl, lambda_cl in config.lambdas:
+            rates = DiscountRates(
+                computational=lambda_cl, synchronization=lambda_sl
+            )
+            for approach in config.approaches:
+                system_config = config.setup.system_config(
+                    approach=approach,
+                    rates=rates,
+                    sync_mean_interval=interval,
+                    seed=config.system_seed,
+                )
+                result = run_stream(
+                    system_config,
+                    approach,
+                    queries,
+                    mean_interarrival=QUERY_MEAN_INTERARRIVAL,
+                    rounds=config.rounds,
+                    arrival_seed=config.arrival_seed,
+                )
+                table.add(
+                    ratio_label, lambda_sl, lambda_cl, approach, result.mean_iv
+                )
+    return table

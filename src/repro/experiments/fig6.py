@@ -1,0 +1,86 @@
+"""Figure 6 — Computational latency per query.
+
+λ_CL = λ_SL = 0.01 and Fq:Fs = 1:10.  "We select 15 queries which are
+neither too cheap nor too expensive" — we sort the 22 TPC-H queries by their
+footprint size and keep the middle 15.  Each query runs alone on a fresh
+system per approach, and its realized computational latency is reported.
+
+Expected shape: IVQP's CL does not always match the cheapest (it optimizes
+IV, not CL); for some queries it equals the Data Warehouse CL because the
+all-replica plan wins; Federation has the largest CL throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.value import DiscountRates
+from repro.experiments.config import TpchSetup, sync_interval_for_ratio
+from repro.experiments.runner import run_single_queries
+from repro.reporting.tables import ResultTable
+from repro.workload.query import DSSQuery
+
+__all__ = ["Fig6Config", "select_mid_cost_queries", "run_fig6"]
+
+
+@dataclass
+class Fig6Config:
+    """Parameters of the Figure 6 runs."""
+
+    setup: TpchSetup = field(default_factory=TpchSetup)
+    ratio_multiplier: float = 10.0  # Fq:Fs = 1:10
+    lambda_both: float = 0.01
+    query_count: int = 15
+    approaches: tuple[str, ...] = ("ivqp", "federation", "warehouse")
+    submit_at: float = 50.0
+    system_seed: int = 1
+
+
+def select_mid_cost_queries(
+    setup: TpchSetup, count: int = 15
+) -> list[DSSQuery]:
+    """The ``count`` mid-cost queries ("neither too cheap nor too expensive").
+
+    Cost rank is by total rows read (footprint); an equal number of extremes
+    is dropped from both ends.
+    """
+    queries = setup.queries()
+    rows = setup.instance.row_counts
+
+    def footprint(query: DSSQuery) -> int:
+        return sum(rows[name] for name in query.tables)
+
+    ranked = sorted(queries, key=footprint)
+    drop = len(ranked) - count
+    low = drop // 2
+    high = len(ranked) - (drop - low)
+    selected = ranked[low:high]
+    # Present in original query order (Q1..Q22) for stable figure indices.
+    selected.sort(key=lambda query: query.query_id)
+    return selected
+
+
+def run_fig6(config: Fig6Config | None = None) -> ResultTable:
+    """Run Figure 6 and return per-query computational latencies."""
+    config = config or Fig6Config()
+    interval = sync_interval_for_ratio(config.ratio_multiplier)
+    rates = DiscountRates.symmetric(config.lambda_both)
+    queries = select_mid_cost_queries(config.setup, config.query_count)
+    table = ResultTable(
+        title="Figure 6: computational latency (minutes) per query",
+        headers=["query_index", "query", "approach", "cl_minutes"],
+    )
+    for approach in config.approaches:
+        system_config = config.setup.system_config(
+            approach=approach,
+            rates=rates,
+            sync_mean_interval=interval,
+            seed=config.system_seed,
+        )
+        result = run_single_queries(
+            system_config, approach, queries, submit_at=config.submit_at
+        )
+        latencies = result.per_query_cl
+        for index, query in enumerate(queries, start=1):
+            table.add(index, query.name, approach, latencies[query.name])
+    return table

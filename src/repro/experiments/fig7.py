@@ -1,0 +1,67 @@
+"""Figure 7 — Synchronization latency per query.
+
+Same TPC-H setup as Figure 6, for Fq:Fs in {1:1, 1:10, 1:20}, comparing
+IVQP against the Data Warehouse only ("We do not compare with Federation
+... because the synchronization latency of Federation is caused by the
+delay of query processing instead of table update").
+
+Expected shape: IVQP's per-query SL is smaller than or equal to the Data
+Warehouse's everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.value import DiscountRates
+from repro.experiments.config import TpchSetup, sync_interval_for_ratio
+from repro.experiments.fig6 import select_mid_cost_queries
+from repro.experiments.runner import run_single_queries
+from repro.reporting.tables import ResultTable
+
+__all__ = ["Fig7Config", "run_fig7"]
+
+
+@dataclass
+class Fig7Config:
+    """Parameters of the Figure 7 runs."""
+
+    setup: TpchSetup = field(default_factory=TpchSetup)
+    ratio_multipliers: dict[str, float] = field(
+        default_factory=lambda: {"1:1": 1.0, "1:10": 10.0, "1:20": 20.0}
+    )
+    lambda_both: float = 0.01
+    query_count: int = 15
+    approaches: tuple[str, ...] = ("ivqp", "warehouse")
+    submit_at: float = 50.0
+    system_seed: int = 1
+
+
+def run_fig7(config: Fig7Config | None = None) -> ResultTable:
+    """Run Figure 7 and return per-query synchronization latencies."""
+    config = config or Fig7Config()
+    rates = DiscountRates.symmetric(config.lambda_both)
+    queries = select_mid_cost_queries(config.setup, config.query_count)
+    table = ResultTable(
+        title="Figure 7: synchronization latency (minutes) per query",
+        headers=["fq_fs", "query_index", "query", "approach", "sl_minutes"],
+    )
+    for ratio_label, multiplier in config.ratio_multipliers.items():
+        interval = sync_interval_for_ratio(multiplier)
+        for approach in config.approaches:
+            system_config = config.setup.system_config(
+                approach=approach,
+                rates=rates,
+                sync_mean_interval=interval,
+                seed=config.system_seed,
+            )
+            result = run_single_queries(
+                system_config, approach, queries, submit_at=config.submit_at
+            )
+            latencies = result.per_query_sl
+            for index, query in enumerate(queries, start=1):
+                table.add(
+                    ratio_label, index, query.name, approach,
+                    latencies[query.name],
+                )
+    return table

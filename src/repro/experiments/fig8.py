@@ -1,0 +1,96 @@
+"""Figure 8 — Information value vs number of sites.
+
+Synthetic data set, 100 tables, 50 random replicas, 120 random queries each
+touching up to 10 tables.  The number of remote sites varies from 2 to 22;
+tables are distributed either **skewed** (half on site 0, a quarter on
+site 1, ...) or **uniform**.
+
+Expected shape: IVQP wins everywhere.  Under uniform placement, more sites
+mean a query's tables are spread over more nodes, so communication overhead
+reduces the information value gained by IVQP and Federation; under skewed
+placement most tables stay on a few sites and the curves are nearly flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.value import DiscountRates
+from repro.experiments.config import QUERY_MEAN_INTERARRIVAL, SyntheticSetup
+from repro.experiments.runner import run_stream
+from repro.federation.costmodel import CostParameters
+from repro.federation.network import NetworkModel
+from repro.reporting.tables import ResultTable
+from repro.workload.generator import random_queries
+
+__all__ = ["Fig8Config", "run_fig8"]
+
+
+@dataclass
+class Fig8Config:
+    """Parameters of the Figure 8 sweep."""
+
+    site_counts: tuple[int, ...] = (2, 6, 10, 14, 18, 22)
+    placements: tuple[str, ...] = ("skewed", "uniform")
+    num_tables: int = 100
+    replicated_count: int = 50
+    query_count: int = 120
+    max_tables_per_query: int = 10
+    lambda_both: float = 0.05
+    #: System-wide mean minutes between sync events (one replica per event).
+    sync_mean_interval: float = 0.2
+    #: Heavier cross-site coordination than the TPC-H experiments — this is
+    #: the knob Figure 8 studies (calibrated in EXPERIMENTS.md).
+    network: NetworkModel = field(
+        default_factory=lambda: NetworkModel(coordination_overhead=1.5)
+    )
+    cost_params: CostParameters = field(
+        default_factory=lambda: CostParameters(assembly_per_site=0.3)
+    )
+    approaches: tuple[str, ...] = ("ivqp", "federation", "warehouse")
+    seed: int = 11
+    workload_seed: int = 23
+    arrival_seed: int = 3
+
+
+def run_fig8(config: Fig8Config | None = None) -> ResultTable:
+    """Run the Figure 8 sweep and return its result table."""
+    config = config or Fig8Config()
+    rates = DiscountRates.symmetric(config.lambda_both)
+    table = ResultTable(
+        title="Figure 8: mean information value vs number of sites",
+        headers=["placement", "sites", "approach", "mean_iv"],
+    )
+    for placement in config.placements:
+        for sites in config.site_counts:
+            setup = SyntheticSetup(
+                num_tables=config.num_tables,
+                num_sites=sites,
+                replicated_count=config.replicated_count,
+                placement=placement,
+                seed=config.seed,
+            )
+            queries = random_queries(
+                setup.instance,
+                count=config.query_count,
+                max_tables=config.max_tables_per_query,
+                seed=config.workload_seed,
+            )
+            for approach in config.approaches:
+                system_config = setup.system_config(
+                    approach=approach,
+                    rates=rates,
+                    sync_mean_interval=config.sync_mean_interval,
+                )
+                system_config.network = config.network
+                system_config.cost_params = config.cost_params
+                result = run_stream(
+                    system_config,
+                    approach,
+                    queries,
+                    mean_interarrival=QUERY_MEAN_INTERARRIVAL,
+                    rounds=1,
+                    arrival_seed=config.arrival_seed,
+                )
+                table.add(placement, sites, approach, result.mean_iv)
+    return table

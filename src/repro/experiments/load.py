@@ -1,0 +1,77 @@
+"""EXT2 — information value under load (arrival-rate sweep).
+
+The paper's computational latency *includes queuing time*, so information
+value must degrade as the query arrival rate approaches the system's
+service capacity — and the three routing approaches degrade differently:
+the Data Warehouse funnels everything through the local server, Federation
+spreads load over the remote sites, and IVQP can shift routes as queues
+build (each submission re-optimizes against the current sync state, and
+its realized IV absorbs whatever queueing materialises).
+
+This extension sweeps the mean inter-arrival time from relaxed to
+saturating on the TPC-H setup and reports mean realized IV and mean CL per
+approach — the capacity story Section 1 motivates ("business intelligence
+applications based on a centralized data warehouse cannot scale up").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.value import DiscountRates
+from repro.experiments.config import TpchSetup, sync_interval_for_ratio
+from repro.experiments.runner import run_stream
+from repro.reporting.tables import ResultTable
+
+__all__ = ["LoadConfig", "run_load_sweep"]
+
+
+@dataclass
+class LoadConfig:
+    """Parameters of the EXT2 sweep."""
+
+    setup: TpchSetup = field(default_factory=TpchSetup)
+    #: Mean minutes between arrivals, fastest first (the paper's default
+    #: stream uses 10.0).
+    interarrival_means: tuple[float, ...] = (1.0, 2.0, 4.0, 10.0)
+    lambda_both: float = 0.05
+    ratio_multiplier: float = 10.0  # Fq:Fs = 1:10
+    approaches: tuple[str, ...] = ("ivqp", "federation", "warehouse")
+    rounds: int = 2
+    arrival_seed: int = 3
+    system_seed: int = 1
+
+
+def run_load_sweep(config: LoadConfig | None = None) -> ResultTable:
+    """Sweep the arrival rate and report IV/CL per approach."""
+    config = config or LoadConfig()
+    rates = DiscountRates.symmetric(config.lambda_both)
+    interval = sync_interval_for_ratio(config.ratio_multiplier)
+    queries = config.setup.queries()
+    table = ResultTable(
+        title="EXT2: information value under load (TPC-H stream)",
+        headers=[
+            "interarrival_min", "approach", "mean_iv", "mean_cl", "mean_sl",
+        ],
+    )
+    for mean_interarrival in config.interarrival_means:
+        for approach in config.approaches:
+            system_config = config.setup.system_config(
+                approach=approach,
+                rates=rates,
+                sync_mean_interval=interval,
+                seed=config.system_seed,
+            )
+            result = run_stream(
+                system_config,
+                approach,
+                queries,
+                mean_interarrival=mean_interarrival,
+                rounds=config.rounds,
+                arrival_seed=config.arrival_seed,
+            )
+            table.add(
+                mean_interarrival, approach,
+                result.mean_iv, result.mean_cl, result.mean_sl,
+            )
+    return table

@@ -1,0 +1,79 @@
+"""Replicated runs with confidence intervals.
+
+A single simulated stream is one draw; the paper reports single numbers,
+but a credible reproduction should know its run-to-run spread.  These
+helpers repeat any experiment function across seeds and summarise each
+metric as mean ± half-width of a Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["MeanCI", "summarize", "replicate"]
+
+#: Two-sided Student-t 97.5% quantiles for df = 1..30 (95% CIs).
+_T_975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def _t_quantile(df: int) -> float:
+    if df < 1:
+        raise ConfigError("confidence interval needs at least 2 samples")
+    if df <= len(_T_975):
+        return _T_975[df - 1]
+    return 1.96  # normal approximation for large df
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Mean with a 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        """Lower CI bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper CI bound."""
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "MeanCI") -> bool:
+        """Whether two intervals intersect (no significant difference)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.samples})"
+
+
+def summarize(samples: Sequence[float]) -> MeanCI:
+    """Mean ± 95% CI of a sample list."""
+    if len(samples) < 2:
+        raise ConfigError("summarize needs at least 2 samples")
+    n = len(samples)
+    mean = math.fsum(samples) / n
+    variance = math.fsum((x - mean) ** 2 for x in samples) / (n - 1)
+    half = _t_quantile(n - 1) * math.sqrt(variance / n)
+    return MeanCI(mean=mean, half_width=half, samples=n)
+
+
+def replicate(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+) -> MeanCI:
+    """Run ``run(seed)`` per seed and summarise the returned metric."""
+    if len(seeds) < 2:
+        raise ConfigError("replicate needs at least 2 seeds")
+    return summarize([float(run(seed)) for seed in seeds])

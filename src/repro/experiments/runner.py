@@ -1,0 +1,144 @@
+"""Generic experiment execution helpers.
+
+One "run" builds a fresh federated system for an approach, submits a query
+stream with Poisson arrivals, drains the simulation and returns the per-run
+aggregates every figure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import federation_router, ivqp_router, warehouse_router
+from repro.errors import ConfigError
+from repro.federation.executor import QueryOutcome
+from repro.federation.system import FederatedSystem, SystemConfig, build_system
+from repro.workload.arrival import poisson_arrivals
+from repro.workload.query import DSSQuery, Workload
+
+__all__ = ["APPROACHES", "RunResult", "run_stream", "run_single_queries"]
+
+#: Router factories by approach name.  ``ivqp-partial`` is the same router
+#: on the paper-literal partial-replication infrastructure (see
+#: :meth:`repro.experiments.config.TpchSetup.system_config`).
+APPROACHES = {
+    "ivqp": ivqp_router,
+    "ivqp-partial": ivqp_router,
+    "federation": federation_router,
+    "warehouse": warehouse_router,
+}
+
+
+@dataclass
+class RunResult:
+    """Aggregates of one simulated stream."""
+
+    approach: str
+    mean_iv: float
+    mean_cl: float
+    mean_sl: float
+    outcomes: list[QueryOutcome]
+
+    @property
+    def per_query_cl(self) -> dict[str, float]:
+        """Mean realized CL keyed by query name."""
+        return _per_query(self.outcomes, "computational_latency")
+
+    @property
+    def per_query_sl(self) -> dict[str, float]:
+        """Mean realized SL keyed by query name."""
+        return _per_query(self.outcomes, "synchronization_latency")
+
+    @property
+    def per_query_iv(self) -> dict[str, float]:
+        """Mean realized IV keyed by query name."""
+        return _per_query(self.outcomes, "information_value")
+
+
+def _per_query(outcomes: list[QueryOutcome], attribute: str) -> dict[str, float]:
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for outcome in outcomes:
+        name = outcome.query.name
+        sums[name] = sums.get(name, 0.0) + getattr(outcome, attribute)
+        counts[name] = counts.get(name, 0) + 1
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+def _build(config: SystemConfig, approach: str) -> FederatedSystem:
+    try:
+        factory = APPROACHES[approach]
+    except KeyError:
+        raise ConfigError(
+            f"unknown approach {approach!r}; expected one of {sorted(APPROACHES)}"
+        )
+    return build_system(config, factory)
+
+
+def run_stream(
+    config: SystemConfig,
+    approach: str,
+    queries: list[DSSQuery],
+    mean_interarrival: float,
+    rounds: int = 1,
+    arrival_seed: int = 3,
+) -> RunResult:
+    """Submit ``rounds`` passes over ``queries`` as a Poisson stream."""
+    if rounds < 1:
+        raise ConfigError(f"rounds must be >= 1, got {rounds}")
+    system = _build(config, approach)
+    stream: list[DSSQuery] = []
+    next_id = 1
+    for round_index in range(rounds):
+        for query in queries:
+            # Re-id per submission so the workload stays duplicate-free.
+            stream.append(
+                DSSQuery(
+                    query_id=next_id,
+                    name=query.name,
+                    tables=query.tables,
+                    business_value=query.business_value,
+                    rates=query.rates,
+                    logical=query.logical,
+                    base_work=query.base_work,
+                )
+            )
+            next_id += 1
+    arrivals = poisson_arrivals(mean_interarrival, len(stream), seed=arrival_seed)
+    system.submit_workload(Workload.from_queries(stream, arrivals=arrivals))
+    system.run()
+    return RunResult(
+        approach=approach,
+        mean_iv=system.mean_information_value,
+        mean_cl=system.mean_computational_latency,
+        mean_sl=system.mean_synchronization_latency,
+        outcomes=system.outcomes,
+    )
+
+
+def run_single_queries(
+    config: SystemConfig,
+    approach: str,
+    queries: list[DSSQuery],
+    submit_at: float = 50.0,
+) -> RunResult:
+    """Run each query alone on a fresh system (uncontended latencies).
+
+    Used by the per-query latency figures (6 and 7): one system per query,
+    submitted at ``submit_at`` so replicas have gone through some
+    synchronization history first.
+    """
+    outcomes: list[QueryOutcome] = []
+    for query in queries:
+        system = _build(config, approach)
+        system.submit(query, at=submit_at)
+        system.run()
+        outcomes.extend(system.outcomes)
+    count = max(len(outcomes), 1)
+    return RunResult(
+        approach=approach,
+        mean_iv=sum(o.information_value for o in outcomes) / count,
+        mean_cl=sum(o.computational_latency for o in outcomes) / count,
+        mean_sl=sum(o.synchronization_latency for o in outcomes) / count,
+        outcomes=outcomes,
+    )

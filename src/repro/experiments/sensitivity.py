@@ -1,0 +1,111 @@
+"""EXT1 — routing-decision sensitivity to the discount rates.
+
+Figures 1 and 2 of the paper argue qualitatively that the plan choice flips
+with the discount rates: "plan 1 may achieve a better information value
+than plan 2" when λ_CL < λ_SL, and vice versa; and that delaying execution
+pays "if the discount rate of synchronization latency is greater than that
+of computational latency".  This experiment makes that argument
+quantitative: sweep both rates over a grid for a representative two-table
+query and record which *kind* of plan IVQP picks — all-remote, all-replica,
+mixed, or delayed — producing the phase diagram the paper gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optimizer import IVQPOptimizer
+from repro.core.value import DiscountRates
+from repro.federation.catalog import Catalog, StreamSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.reporting.tables import ResultTable
+from repro.workload.query import DSSQuery
+
+__all__ = ["SensitivityConfig", "classify_plan", "run_sensitivity"]
+
+
+@dataclass
+class SensitivityConfig:
+    """Grid and scenario parameters for the EXT1 sweep.
+
+    Two scenarios cover the paper's two qualitative figures:
+
+    * ``fig1`` — long sync cycles, submission mid-cycle: the live question
+      is *remote base tables vs. stale replicas* (paper Figure 1);
+    * ``fig2`` — short sync cycles, a synchronization imminent: the live
+      question is *immediate vs. delayed execution* (paper Figure 2).
+    """
+
+    rates: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2)
+    scenarios: dict[str, tuple[float, float]] = field(
+        default_factory=lambda: {
+            "fig1": (24.0, 34.0),  # (sync period, submission instant)
+            "fig2": (8.0, 20.5),
+        }
+    )
+    table_rows: int = 10_000
+    #: Remote reads ~3x slower than replica reads, as in the TPC-H runs.
+    cost_params: CostParameters = field(
+        default_factory=lambda: CostParameters(
+            local_throughput=5_000.0, remote_throughput=1_500.0
+        )
+    )
+
+
+def classify_plan(plan) -> str:
+    """The qualitative routing decision a plan embodies."""
+    if plan.delayed:
+        return "delayed"
+    if not plan.remote_tables:
+        return "all-replica"
+    if not plan.replica_tables:
+        return "all-remote"
+    return "mixed"
+
+
+def _build_world(config: SensitivityConfig, sync_period: float):
+    catalog = Catalog()
+    for index, name in enumerate(("T1", "T2")):
+        catalog.add_table(
+            TableDef(name, site=index, row_count=config.table_rows)
+        )
+        catalog.add_replica(
+            name,
+            StreamSyncSchedule.periodic(
+                sync_period,
+                offset=sync_period * (0.5 + 0.25 * index),
+            ),
+        )
+    query = DSSQuery(query_id=1, name="ext1", tables=("T1", "T2"))
+    cost_model = CostModel(catalog, params=config.cost_params)
+    return catalog, cost_model, query
+
+
+def run_sensitivity(config: SensitivityConfig | None = None) -> ResultTable:
+    """Sweep (λ_CL, λ_SL) per scenario; record the plan kind and IV."""
+    config = config or SensitivityConfig()
+    table = ResultTable(
+        title="EXT1: IVQP routing decision vs (lambda_CL, lambda_SL)",
+        headers=[
+            "scenario", "lambda_cl", "lambda_sl", "decision", "iv", "cl", "sl",
+        ],
+    )
+    for scenario, (sync_period, submit_at) in config.scenarios.items():
+        catalog, cost_model, query = _build_world(config, sync_period)
+        for rate_cl in config.rates:
+            for rate_sl in config.rates:
+                rates = DiscountRates(
+                    computational=rate_cl, synchronization=rate_sl
+                )
+                optimizer = IVQPOptimizer(catalog, cost_model, rates)
+                plan = optimizer.choose_plan(query, submit_at)
+                table.add(
+                    scenario,
+                    rate_cl,
+                    rate_sl,
+                    classify_plan(plan),
+                    plan.information_value,
+                    plan.computational_latency,
+                    plan.synchronization_latency,
+                )
+    return table

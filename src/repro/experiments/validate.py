@@ -1,0 +1,243 @@
+"""Reproduction validator: re-check every claimed shape in EXPERIMENTS.md.
+
+``python -m repro check`` runs reduced-size versions of all experiments and
+verifies each qualitative claim the paper makes (and that this reproduction
+documents), printing one PASS/FAIL line per claim.  The benchmark suite
+asserts the same shapes; this module gives users a one-command audit that
+does not require pytest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    run_aging_ablation,
+    run_ga_ablation,
+    run_routing_ablation,
+    run_search_ablation,
+)
+from repro.experiments.config import TpchSetup
+from repro.experiments.fig4_walkthrough import run_fig4
+from repro.experiments.fig5 import Fig5Config, run_fig5
+from repro.experiments.fig8 import Fig8Config, run_fig8
+from repro.experiments.fig9 import Fig9Config, run_fig9a
+from repro.experiments.load import LoadConfig, run_load_sweep
+from repro.experiments.sensitivity import SensitivityConfig, run_sensitivity
+from repro.reporting.tables import ResultTable
+
+__all__ = ["Claim", "validate_all", "render_report"]
+
+
+@dataclass
+class Claim:
+    """One checked statement about the reproduction."""
+
+    figure: str
+    statement: str
+    passed: bool
+    detail: str = ""
+
+
+def _fig4_claims() -> list[Claim]:
+    outcome = run_fig4()
+    return [
+        Claim(
+            "fig4", "scatter incumbent equals BV x 0.9^10 x 0.9^10",
+            abs(outcome.scatter_iv - 0.9**20) < 1e-12,
+            f"measured {outcome.scatter_iv:.6f}",
+        ),
+        Claim(
+            "fig4", "initial search bound is t = 31",
+            abs(outcome.initial_bound - 31.0) < 1e-12,
+            f"measured {outcome.initial_bound}",
+        ),
+        Claim(
+            "fig4", "scatter-and-gather matches the exhaustive oracle",
+            abs(
+                outcome.chosen.information_value
+                - outcome.oracle.information_value
+            ) < 1e-9,
+            f"chosen {outcome.chosen.information_value:.4f}",
+        ),
+    ]
+
+
+def _fig5_claims() -> list[Claim]:
+    config = Fig5Config(setup=TpchSetup(scale=0.001, seed=7), rounds=1)
+    table = run_fig5(config)
+
+    def cell(ratio, lambdas, approach) -> float:
+        for row in table.rows:
+            if (row[0], (row[1], row[2]), row[3]) == (ratio, lambdas, approach):
+                return row[4]
+        raise KeyError((ratio, lambdas, approach))
+
+    dominance = all(
+        cell(r, lam, "ivqp") >= cell(r, lam, baseline) - 5e-3
+        for r in config.ratios
+        for lam in config.lambdas
+        for baseline in ("federation", "warehouse")
+    )
+    dw_trend = all(
+        cell("1:20", lam, "warehouse") > cell("1:0.1", lam, "warehouse")
+        for lam in config.lambdas
+    )
+    crossover = cell("1:20", (0.01, 0.01), "warehouse") > cell(
+        "1:20", (0.01, 0.01), "federation"
+    ) and cell("1:0.1", (0.01, 0.01), "warehouse") < cell(
+        "1:0.1", (0.01, 0.01), "federation"
+    )
+    return [
+        Claim("fig5", "IVQP highest IV in every (ratio, lambda) cell",
+              dominance),
+        Claim("fig5", "Data Warehouse improves with sync frequency", dw_trend),
+        Claim("fig5", "DW overtakes Federation by 1:20 (not at 1:0.1)",
+              crossover),
+    ]
+
+
+def _fig8_claims() -> list[Claim]:
+    table = run_fig8(Fig8Config(site_counts=(2, 10, 22), query_count=60))
+
+    def value(placement, sites, approach) -> float:
+        for row in table.rows:
+            if (row[0], row[1], row[2]) == (placement, sites, approach):
+                return row[3]
+        raise KeyError((placement, sites, approach))
+
+    wins = all(
+        value(p, s, "ivqp") >= value(p, s, baseline) - 1e-6
+        for p in ("skewed", "uniform")
+        for s in (2, 10, 22)
+        for baseline in ("federation", "warehouse")
+    )
+    uniform_declines = value("uniform", 22, "ivqp") < value("uniform", 2, "ivqp")
+    skewed_flat = abs(
+        value("skewed", 22, "ivqp") - value("skewed", 10, "ivqp")
+    ) < 0.02
+    return [
+        Claim("fig8", "IVQP wins at every (placement, sites) point", wins),
+        Claim("fig8", "uniform placement degrades with more sites",
+              uniform_declines),
+        Claim("fig8", "skewed placement stays flat past 10 sites", skewed_flat),
+    ]
+
+
+def _fig9_claims() -> list[Claim]:
+    table = run_fig9a(Fig9Config())
+    gains = dict(zip(table.column("overlap_pct"), table.column("gain_pct")))
+    return [
+        Claim("fig9", "MQO gain grows with overlap rate",
+              gains[50] > gains[30] > gains[10] - 1e-9,
+              f"10%:{gains[10]:.1f} 30%:{gains[30]:.1f} 50%:{gains[50]:.1f}"),
+        Claim("fig9", "MQO gain exceeds 50% at 50% overlap",
+              gains[50] > 50.0, f"measured {gains[50]:.1f}%"),
+    ]
+
+
+def _ablation_claims() -> list[Claim]:
+    claims = []
+    aging = run_aging_ablation(AblationConfig())
+    rows = {row[0]: row for row in aging.rows}
+    claims.append(
+        Claim("abl1", "aging bounds the starving report's wait",
+              rows["aging"][3] < rows["no-aging"][3] / 2,
+              f"{rows['no-aging'][3]:.1f} -> {rows['aging'][3]:.1f} min")
+    )
+    search = run_search_ablation(AblationConfig())
+    claims.append(
+        Claim("abl2", "scatter-gather equals the oracle on all trials",
+              all(abs(row[2] - row[3]) < 1e-9 for row in search.rows))
+    )
+    routing = run_routing_ablation(AblationConfig())
+    routing_rows = {row[0]: row for row in routing.rows}
+    claims.append(
+        Claim("abl4", "routing table is near-optimal and faster than search",
+              routing_rows["routing-table"][1]
+              >= 0.98 * routing_rows["live-search"][1]
+              and routing_rows["routing-table"][3]
+              < routing_rows["live-search"][3])
+    )
+    ga = run_ga_ablation(AblationConfig())
+    ga_values = dict(zip(ga.column("strategy"), ga.column("total_iv")))
+    claims.append(
+        Claim("abl5", "GA matches or beats random search and hill climbing",
+              ga_values["genetic-algorithm"] >= max(
+                  ga_values["random-search"], ga_values["hill-climb"]
+              ) - 1e-9,
+              f"GA {ga_values['genetic-algorithm']:.2f} vs best simple "
+              f"{max(ga_values['random-search'], ga_values['hill-climb']):.2f}")
+    )
+    return claims
+
+
+def _extension_claims() -> list[Claim]:
+    sensitivity = run_sensitivity(SensitivityConfig(rates=(0.01, 0.2)))
+    decisions = {
+        (row[0], row[1], row[2]): row[3] for row in sensitivity.rows
+    }
+    flips = (
+        decisions[("fig1", 0.01, 0.2)] != decisions[("fig1", 0.2, 0.01)]
+        and decisions[("fig2", 0.01, 0.2)] != decisions[("fig2", 0.2, 0.01)]
+    )
+    claims = [
+        Claim("ext1", "routing decision flips with the lambda preference",
+              flips),
+    ]
+    load = run_load_sweep(
+        LoadConfig(
+            setup=TpchSetup(scale=0.001, seed=7),
+            interarrival_means=(1.5, 10.0),
+            approaches=("ivqp", "federation"),
+            rounds=1,
+        )
+    )
+    iv = {(row[0], row[1]): row[2] for row in load.rows}
+    claims.append(
+        Claim("ext2", "saturating arrivals degrade IVQP and Federation IV",
+              iv[(1.5, "ivqp")] < iv[(10.0, "ivqp")]
+              and iv[(1.5, "federation")] < iv[(10.0, "federation")])
+    )
+    return claims
+
+
+_SECTIONS: list[Callable[[], list[Claim]]] = [
+    _fig4_claims,
+    _fig5_claims,
+    _fig8_claims,
+    _fig9_claims,
+    _ablation_claims,
+    _extension_claims,
+]
+
+
+def validate_all() -> list[Claim]:
+    """Run every check; returns the full claim list."""
+    claims: list[Claim] = []
+    for section in _SECTIONS:
+        claims.extend(section())
+    return claims
+
+
+def render_report(claims: list[Claim]) -> str:
+    """A printable PASS/FAIL report."""
+    table = ResultTable(
+        title="Reproduction check (reduced-size runs; see EXPERIMENTS.md)",
+        headers=["figure", "status", "claim", "detail"],
+    )
+    for claim in claims:
+        table.add(
+            claim.figure,
+            "PASS" if claim.passed else "FAIL",
+            claim.statement,
+            claim.detail,
+        )
+    failed = sum(1 for claim in claims if not claim.passed)
+    footer = (
+        f"\n{len(claims) - failed}/{len(claims)} claims hold"
+        + (f" — {failed} FAILED" if failed else "")
+    )
+    return table.render() + footer

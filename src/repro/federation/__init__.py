@@ -1,0 +1,63 @@
+"""Hybrid federation substrate: catalog, sites, sync, cost model, executor."""
+
+from repro.federation.catalog import (
+    Catalog,
+    FixedSyncSchedule,
+    Replica,
+    SharedSyncFeed,
+    StreamSyncSchedule,
+    SyncSchedule,
+    TableDef,
+)
+from repro.federation.costmodel import (
+    ComboCost,
+    CostModel,
+    CostParameters,
+    StaticCostProvider,
+)
+from repro.federation.executor import PlanExecutor, QueryOutcome
+from repro.federation.network import NetworkModel, SiteLink
+from repro.federation.qos import (
+    StalenessAudit,
+    audit_staleness,
+    schedules_for_staleness_bounds,
+)
+from repro.federation.site import LOCAL_SITE_ID, Site
+from repro.federation.sync import ReplicationManager, build_schedules
+from repro.federation.system import (
+    FederatedSystem,
+    Router,
+    SystemConfig,
+    TableSpec,
+    build_system,
+)
+
+__all__ = [
+    "Catalog",
+    "ComboCost",
+    "CostModel",
+    "CostParameters",
+    "FederatedSystem",
+    "FixedSyncSchedule",
+    "LOCAL_SITE_ID",
+    "NetworkModel",
+    "PlanExecutor",
+    "QueryOutcome",
+    "Replica",
+    "ReplicationManager",
+    "Router",
+    "SharedSyncFeed",
+    "Site",
+    "SiteLink",
+    "StalenessAudit",
+    "StaticCostProvider",
+    "StreamSyncSchedule",
+    "SyncSchedule",
+    "SystemConfig",
+    "TableDef",
+    "TableSpec",
+    "audit_staleness",
+    "build_schedules",
+    "build_system",
+    "schedules_for_staleness_bounds",
+]

@@ -1,0 +1,92 @@
+"""Network model: transfer times and cross-site coordination overhead.
+
+Section 4.3 observes that "a large number of nodes suggests that many
+different nodes may be involved in evaluating a query.  The communication
+overhead among different nodes will result in the reduction of information
+value" — so the model charges a per-site coordination cost on top of
+bandwidth-limited transfers.
+
+Links may be heterogeneous: per-site overrides describe e.g. a branch
+office behind a slow WAN next to a data-center peer on a fat pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+from repro.errors import ConfigError
+
+__all__ = ["SiteLink", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class SiteLink:
+    """Link characteristics of one remote site."""
+
+    base_latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise ConfigError("link base_latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigError("link bandwidth must be > 0")
+
+
+@dataclass(frozen=True, eq=False)
+class NetworkModel:
+    """Latency/bandwidth/coordination parameters, all in minutes and bytes.
+
+    Attributes
+    ----------
+    base_latency:
+        Default fixed per-remote-exchange latency (connection setup).
+    bandwidth:
+        Default bytes transferable per minute.
+    coordination_overhead:
+        Extra minutes charged per *additional* distinct remote site beyond
+        the first involved in one query (distributed-join coordination).
+    site_links:
+        Per-site overrides of latency/bandwidth (heterogeneous links).
+    """
+
+    base_latency: float = 0.05
+    bandwidth: float = 50_000_000.0
+    coordination_overhead: float = 0.25
+    site_links: dict[int, SiteLink] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise ConfigError("base_latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigError("bandwidth must be > 0")
+        if self.coordination_overhead < 0:
+            raise ConfigError("coordination_overhead must be >= 0")
+        # Freeze the override map so the model stays a value object.
+        object.__setattr__(
+            self, "site_links", MappingProxyType(dict(self.site_links))
+        )
+
+    def link(self, site: int | None = None) -> SiteLink:
+        """The link used for a site (the default when unspecified)."""
+        if site is not None and site in self.site_links:
+            return self.site_links[site]
+        return SiteLink(self.base_latency, self.bandwidth)
+
+    def transfer_time(self, size_bytes: float, site: int | None = None) -> float:
+        """Minutes to move ``size_bytes`` over one link."""
+        if size_bytes < 0:
+            raise ConfigError(f"size_bytes must be >= 0, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+        link = self.link(site)
+        return link.base_latency + size_bytes / link.bandwidth
+
+    def coordination_time(self, distinct_remote_sites: int) -> float:
+        """Minutes of coordination for a query touching that many sites."""
+        if distinct_remote_sites < 0:
+            raise ConfigError("site count must be >= 0")
+        if distinct_remote_sites <= 1:
+            return 0.0
+        return self.coordination_overhead * (distinct_remote_sites - 1)

@@ -1,0 +1,108 @@
+"""QoS-aware synchronization planning.
+
+Section 3.1 assumes "a QoS aware replication manager is deployed to ensure
+updates to a table propagated to its replica in DSS within a pre-defined
+time frame".  This module turns such per-table staleness bounds into
+concrete synchronization schedules and audits existing schedules against
+the bounds:
+
+* :func:`schedules_for_staleness_bounds` — periodic schedules whose period
+  equals the bound (a replica's staleness just before a refresh equals the
+  period, so the bound holds with equality at the worst point);
+* :func:`audit_staleness` — measure the worst observed inter-sync gap per
+  replica over a horizon and compare it with a bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.federation.catalog import Catalog, StreamSyncSchedule, SyncSchedule
+from repro.sim.rng import RandomSource
+
+__all__ = ["StalenessAudit", "schedules_for_staleness_bounds", "audit_staleness"]
+
+
+def schedules_for_staleness_bounds(
+    bounds: Mapping[str, float],
+    source: RandomSource | None = None,
+) -> dict[str, SyncSchedule]:
+    """Periodic schedules meeting per-table staleness bounds.
+
+    Each table gets a period equal to its bound; phases are staggered (when
+    a ``source`` is given) so refreshes do not align and hammer the
+    replication channel all at once.
+    """
+    if not bounds:
+        raise ConfigError("need at least one staleness bound")
+    schedules: dict[str, SyncSchedule] = {}
+    for name, bound in bounds.items():
+        if bound <= 0:
+            raise ConfigError(f"staleness bound for {name!r} must be > 0")
+        offset = (
+            source.spawn(f"qos/{name}").uniform(0.0, bound)
+            if source is not None
+            else bound
+        )
+        schedules[name] = StreamSyncSchedule.periodic(
+            bound, offset=max(offset, 1e-6)
+        )
+    return schedules
+
+
+@dataclass(frozen=True)
+class StalenessAudit:
+    """Worst-case staleness of one replica over an audited horizon."""
+
+    table: str
+    bound: float
+    worst_gap: float
+    sync_count: int
+
+    @property
+    def compliant(self) -> bool:
+        """Whether the worst gap stayed within the bound."""
+        return self.worst_gap <= self.bound + 1e-9
+
+
+def audit_staleness(
+    catalog: Catalog,
+    bounds: Mapping[str, float],
+    horizon: float,
+    tables: Sequence[str] | None = None,
+) -> list[StalenessAudit]:
+    """Audit replicas' schedules against staleness bounds over ``[0, horizon]``.
+
+    The worst gap counts the stretch from one completion (or the replica's
+    initial timestamp) to the next completion — the staleness a query
+    reading just before that refresh would see.
+    """
+    if horizon <= 0:
+        raise ConfigError("audit horizon must be > 0")
+    names = list(tables) if tables is not None else catalog.replicated_tables
+    audits = []
+    for name in names:
+        replica = catalog.replica(name)
+        if replica is None:
+            raise ConfigError(f"table {name!r} has no replica to audit")
+        bound = bounds.get(name)
+        if bound is None:
+            raise ConfigError(f"no staleness bound given for {name!r}")
+        completions = replica.schedule.completions_between(0.0, horizon)
+        worst = 0.0
+        previous = replica.initial_timestamp
+        for completion in completions:
+            worst = max(worst, completion - previous)
+            previous = completion
+        worst = max(worst, horizon - previous)
+        audits.append(
+            StalenessAudit(
+                table=name,
+                bound=bound,
+                worst_gap=worst,
+                sync_count=len(completions),
+            )
+        )
+    return audits

@@ -1,0 +1,153 @@
+"""The replication manager.
+
+Builds synchronization schedules for replicas and, during simulation,
+materialises each scheduled completion as an event: bumping the replica's
+sync counter, recording staleness statistics, and waking any listeners
+(e.g. dashboards in the examples).  Because schedules are *pre-scheduled*
+timelines (see :mod:`repro.federation.catalog`), the manager never decides
+freshness — it faithfully executes the published schedule, which is what
+lets the IVQP optimizer plan against future synchronization points.
+
+Three scheduling modes cover the paper's setups:
+
+* **periodic** — fixed cycles, optionally staggered (Figures 1–4);
+* **independent exponential** — each replica refreshes on its own
+  ``ExponentialStream`` (JavaSim style);
+* **shared exponential** — one system-wide exponential sync budget,
+  round-robin over replicas (the Fq:Fs interpretation used for Figure 5;
+  see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.federation.catalog import (
+    Catalog,
+    Replica,
+    SharedSyncFeed,
+    StreamSyncSchedule,
+    SyncSchedule,
+)
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RandomSource
+from repro.sim.scheduler import Simulator
+from repro.sim.streams import ExponentialStream
+
+__all__ = ["ReplicationManager", "build_schedules"]
+
+SyncListener = Callable[[Replica, float], None]
+
+
+def build_schedules(
+    table_names: Sequence[str],
+    mode: str,
+    mean_interval: float,
+    source: RandomSource,
+    stagger: bool = True,
+) -> dict[str, SyncSchedule]:
+    """Create one schedule per table under the given mode.
+
+    Parameters
+    ----------
+    table_names:
+        The tables to be replicated.
+    mode:
+        ``"periodic"``, ``"exponential"`` (independent per replica) or
+        ``"shared"`` (one budget shared round-robin; each replica then
+        refreshes at mean interval ``mean_interval × len(table_names)``).
+    mean_interval:
+        Mean minutes between completions — per replica for ``periodic`` /
+        ``exponential``, system-wide for ``shared``.
+    source:
+        Random source for stochastic modes and stagger offsets.
+    stagger:
+        For ``periodic``: give each replica a random phase so completions
+        do not align.
+    """
+    if mean_interval <= 0:
+        raise ConfigError(f"mean_interval must be > 0, got {mean_interval}")
+    if not table_names:
+        raise ConfigError("build_schedules needs at least one table")
+
+    schedules: dict[str, SyncSchedule] = {}
+    if mode == "periodic":
+        for name in table_names:
+            offset = (
+                source.spawn(f"stagger/{name}").uniform(0.0, mean_interval)
+                if stagger
+                else mean_interval
+            )
+            schedules[name] = StreamSyncSchedule.periodic(
+                mean_interval, offset=max(offset, 1e-6)
+            )
+    elif mode == "exponential":
+        for name in table_names:
+            stream = ExponentialStream(mean_interval, source.spawn(f"sync/{name}"))
+            schedules[name] = StreamSyncSchedule(stream)
+    elif mode == "shared":
+        feed = SharedSyncFeed(
+            ExponentialStream(mean_interval, source.spawn("sync/shared"))
+        )
+        for name in table_names:
+            schedules[name] = feed.member()
+    else:
+        raise ConfigError(
+            f"unknown sync mode {mode!r} (periodic | exponential | shared)"
+        )
+    return schedules
+
+
+class ReplicationManager:
+    """Materialises replica synchronizations inside the simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        catalog: Catalog,
+        qos_max_staleness: float | None = None,
+    ) -> None:
+        if qos_max_staleness is not None and qos_max_staleness <= 0:
+            raise ConfigError("qos_max_staleness must be > 0")
+        self.sim = sim
+        self.catalog = catalog
+        self.qos_max_staleness = qos_max_staleness
+        self.staleness = Monitor("replica-staleness-at-sync")
+        self.qos_violations = 0
+        self.total_syncs = 0
+        self._listeners: list[SyncListener] = []
+        self._started = False
+
+    def add_listener(self, listener: SyncListener) -> None:
+        """Register a callback invoked as ``listener(replica, time)``."""
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Launch one driver process per replica (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for replica in self.catalog.replicas:
+            self.sim.process(self._drive(replica), name=f"sync:{replica.name}")
+
+    def _drive(self, replica: Replica):
+        while True:
+            now = self.sim.now
+            next_completion = replica.next_sync_after(now)
+            yield self.sim.timeout(next_completion - now)
+            self._on_sync(replica, self.sim.now)
+
+    def _on_sync(self, replica: Replica, now: float) -> None:
+        # Staleness *just before* this sync: the gap the new version closes.
+        previous = replica.schedule.last_completion_at_or_before(now - 1e-9)
+        if previous is None:
+            previous = replica.initial_timestamp
+        gap = max(0.0, now - previous)
+        self.staleness.observe(gap)
+        self.total_syncs += 1
+        replica.sync_count += 1
+        if self.qos_max_staleness is not None and gap > self.qos_max_staleness:
+            self.qos_violations += 1
+        for listener in self._listeners:
+            listener(replica, now)

@@ -1,0 +1,34 @@
+"""Multi-query optimization: conflict grouping, GA, workload scheduling."""
+
+from repro.mqo.chromosome import (
+    order_crossover,
+    random_permutation,
+    swap_mutation,
+    validate_permutation,
+)
+from repro.mqo.conflict import ExecutionRange, conflict_groups, execution_ranges
+from repro.mqo.evaluator import Assignment, EvaluationResult, WorkloadEvaluator
+from repro.mqo.ga import GAConfig, GAResult, GeneticAlgorithm
+from repro.mqo.scheduler import ScheduleDecision, WorkloadScheduler
+from repro.mqo.search_baselines import SearchResult, hill_climb, random_search
+
+__all__ = [
+    "Assignment",
+    "EvaluationResult",
+    "ExecutionRange",
+    "GAConfig",
+    "GAResult",
+    "GeneticAlgorithm",
+    "ScheduleDecision",
+    "SearchResult",
+    "WorkloadEvaluator",
+    "WorkloadScheduler",
+    "conflict_groups",
+    "hill_climb",
+    "random_search",
+    "execution_ranges",
+    "order_crossover",
+    "random_permutation",
+    "swap_mutation",
+    "validate_permutation",
+]

@@ -1,0 +1,70 @@
+"""Conflict detection and workload formation (paper Section 3.2, step 1).
+
+"For each query, we perform an query plan selection task as described
+earlier and derive a range along the time axis that the query may run.  If
+the ranges of more than two queries are overlapped, we group them into a
+workload for the next step."
+
+A query's *execution range* spans from its arrival to the completion of its
+slowest candidate plan; queries whose ranges overlap form connected
+components, each optimized as one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.mqo.evaluator import WorkloadEvaluator
+
+__all__ = ["ExecutionRange", "execution_ranges", "conflict_groups"]
+
+
+@dataclass(frozen=True)
+class ExecutionRange:
+    """The time range one query may occupy."""
+
+    query_id: int
+    start: float
+    end: float
+
+    def overlaps(self, other: "ExecutionRange") -> bool:
+        """Whether two ranges intersect."""
+        return self.start <= other.end and other.start <= self.end
+
+
+def execution_ranges(evaluator: WorkloadEvaluator) -> list[ExecutionRange]:
+    """Derive each query's candidate execution range from its plan set."""
+    ranges = []
+    for query in evaluator.workload.queries:
+        arrival = evaluator.workload.arrival_of(query.query_id)
+        plans = evaluator.candidates(query)
+        if not plans:  # pragma: no cover - candidates never empty
+            raise OptimizationError(f"no candidate plans for {query.name!r}")
+        latest = max(plan.completion_time for plan in plans)
+        ranges.append(ExecutionRange(query.query_id, arrival, latest))
+    return ranges
+
+
+def conflict_groups(ranges: list[ExecutionRange]) -> list[list[int]]:
+    """Connected components of the range-overlap graph (sweep line).
+
+    Returns groups of query ids; singleton groups are queries that never
+    contend and can be planned individually.
+    """
+    ordered = sorted(ranges, key=lambda r: (r.start, r.end, r.query_id))
+    groups: list[list[int]] = []
+    current: list[int] = []
+    current_end = float("-inf")
+    for rng in ordered:
+        if current and rng.start <= current_end:
+            current.append(rng.query_id)
+            current_end = max(current_end, rng.end)
+        else:
+            if current:
+                groups.append(current)
+            current = [rng.query_id]
+            current_end = rng.end
+    if current:
+        groups.append(current)
+    return groups

@@ -1,0 +1,215 @@
+"""Deterministic workload evaluation — the GA's fitness function.
+
+Section 3.2: "An important GA component is the evaluation function.  Given
+a particular chromosome representing one workload permutation, the function
+deterministically calculates the information value of a given workload
+execution order."
+
+The evaluator replays a permutation analytically (no discrete-event run):
+it tracks when each server (local DSS server and every remote site) becomes
+free, and for each query — in permutation order — picks the candidate plan
+with the best *realized* IV given those availabilities, then commits the
+plan's resource usage.  Candidate plans per query are enumerated once and
+cached (gather combos at the arrival instant and at scheduled sync points
+within the scatter bound).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.core.enumeration import CostProvider, enumerate_plans
+from repro.core.plan import QueryPlan, VersionKind
+from repro.core.value import DiscountRates, information_value, max_tolerable_latency
+from repro.errors import OptimizationError
+from repro.federation.catalog import Catalog
+from repro.federation.site import LOCAL_SITE_ID
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.query import DSSQuery, Workload
+
+__all__ = ["Assignment", "EvaluationResult", "WorkloadEvaluator"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One query's realized execution inside a schedule."""
+
+    query: "DSSQuery"
+    plan: QueryPlan
+    arrival: float
+    begin: float
+    completed: float
+    data_timestamp: float
+
+    @property
+    def computational_latency(self) -> float:
+        """Realized CL under the schedule."""
+        return self.completed - self.arrival
+
+    @property
+    def synchronization_latency(self) -> float:
+        """Realized SL under the schedule."""
+        return max(0.0, self.completed - self.data_timestamp)
+
+    @property
+    def information_value(self) -> float:
+        """Realized IV under the schedule."""
+        return information_value(
+            self.query.business_value,
+            self.computational_latency,
+            self.synchronization_latency,
+            self.plan.rates,
+        )
+
+
+@dataclass
+class EvaluationResult:
+    """Realized schedule for one permutation."""
+
+    assignments: list[Assignment] = field(default_factory=list)
+
+    @property
+    def total_information_value(self) -> float:
+        """Sum of realized IVs (the workload objective, Section 3.2)."""
+        return sum(a.information_value for a in self.assignments)
+
+    @property
+    def mean_information_value(self) -> float:
+        """Mean realized IV."""
+        if not self.assignments:
+            return 0.0
+        return self.total_information_value / len(self.assignments)
+
+    @property
+    def max_wait(self) -> float:
+        """Largest begin-after-arrival wait (starvation indicator)."""
+        return max((a.begin - a.arrival for a in self.assignments), default=0.0)
+
+
+class WorkloadEvaluator:
+    """Scores execution orders of a workload deterministically."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_provider: CostProvider,
+        default_rates: DiscountRates,
+        workload: "Workload",
+        max_candidates: int = 64,
+    ) -> None:
+        if max_candidates < 1:
+            raise OptimizationError("max_candidates must be >= 1")
+        self.catalog = catalog
+        self.cost_provider = cost_provider
+        self.default_rates = default_rates
+        self.workload = workload
+        self.max_candidates = max_candidates
+        self._candidates: dict[int, list[QueryPlan]] = {}
+
+    # -- candidate plans ---------------------------------------------------
+
+    def rates_for(self, query: "DSSQuery") -> DiscountRates:
+        """Per-query rates if set, otherwise the system default."""
+        return query.rates if query.rates is not None else self.default_rates
+
+    def candidates(self, query: "DSSQuery") -> list[QueryPlan]:
+        """Cached candidate plans for one query (gather combos + delays)."""
+        cached = self._candidates.get(query.query_id)
+        if cached is not None:
+            return cached
+        arrival = self.workload.arrival_of(query.query_id)
+        rates = self.rates_for(query)
+        all_base_cost = self.cost_provider.combo_cost(
+            query, frozenset(query.tables)
+        )
+        incumbent = information_value(
+            query.business_value,
+            all_base_cost.total,
+            all_base_cost.total,
+            rates,
+        )
+        tolerable = max_tolerable_latency(
+            query.business_value, incumbent, rates.computational
+        )
+        horizon = arrival + min(tolerable, 24 * 60.0)  # cap lookahead at a day
+        plans = enumerate_plans(
+            query, self.catalog, self.cost_provider, rates,
+            submitted_at=arrival, horizon=horizon, exhaustive=False,
+        )
+        plans.sort(key=lambda plan: plan.information_value, reverse=True)
+        plans = plans[: self.max_candidates]
+        self._candidates[query.query_id] = plans
+        return plans
+
+    # -- schedule replay ---------------------------------------------------------
+
+    def _realize(
+        self,
+        plan: QueryPlan,
+        arrival: float,
+        free_at: dict[int, float],
+    ) -> Assignment:
+        involved = [LOCAL_SITE_ID, *plan.cost.remote_sites]
+        begin = max(
+            plan.start_time,
+            arrival,
+            *(free_at.get(site, 0.0) for site in involved),
+        )
+        completed = begin + plan.cost.processing + plan.cost.transmission
+        freshness = []
+        for version in plan.versions:
+            if version.kind is VersionKind.BASE:
+                freshness.append(begin)
+            else:
+                replica = self.catalog.replica(version.table)
+                freshness.append(replica.freshness_at(begin))
+        return Assignment(
+            query=plan.query,
+            plan=plan,
+            arrival=arrival,
+            begin=begin,
+            completed=completed,
+            data_timestamp=min(freshness),
+        )
+
+    def _commit(self, assignment: Assignment, free_at: dict[int, float]) -> None:
+        busy_until = assignment.begin + assignment.plan.cost.processing
+        free_at[LOCAL_SITE_ID] = max(free_at.get(LOCAL_SITE_ID, 0.0), busy_until)
+        for site in assignment.plan.cost.remote_sites:
+            leg_end = assignment.begin + assignment.plan.cost.leg_minutes(site)
+            free_at[site] = max(free_at.get(site, 0.0), leg_end)
+
+    def evaluate(self, permutation: list[int]) -> EvaluationResult:
+        """Realize a permutation of query ids, greedily re-planning each.
+
+        Queries run in the given order; each picks its IV-best candidate
+        plan given current server availabilities, then occupies servers.
+        """
+        expected = {query.query_id for query in self.workload.queries}
+        if set(permutation) != expected or len(permutation) != len(expected):
+            raise OptimizationError(
+                "permutation must contain each workload query id exactly once"
+            )
+        free_at: dict[int, float] = {}
+        result = EvaluationResult()
+        for query_id in permutation:
+            query = self.workload.query(query_id)
+            arrival = self.workload.arrival_of(query_id)
+            best: Assignment | None = None
+            for plan in self.candidates(query):
+                assignment = self._realize(plan, arrival, free_at)
+                if best is None or (
+                    assignment.information_value > best.information_value
+                ):
+                    best = assignment
+            if best is None:  # pragma: no cover - candidates never empty
+                raise OptimizationError(f"no candidate plans for {query.name!r}")
+            self._commit(best, free_at)
+            result.assignments.append(best)
+        return result
+
+    def fitness(self, permutation: list[int]) -> float:
+        """GA fitness: the permutation's total realized information value."""
+        return self.evaluate(permutation).total_information_value

@@ -1,0 +1,144 @@
+"""The generational genetic algorithm (paper Section 3.2).
+
+"Initially a random set of chromosomes is created for the population.  The
+chromosomes are evaluated ... and the best ones are chosen to be parents.
+The parents recombine to produce children ... and occasionally a mutation
+may arise ...  The children are ranked based on the evaluation function,
+and the best subset of the children is chosen to be the parents of the next
+generation ...  The generational loop ends after some stopping condition is
+met; we chose to end after 50 generations had passed."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+from repro.mqo.chromosome import (
+    order_crossover,
+    random_permutation,
+    swap_mutation,
+)
+from repro.sim.rng import RandomSource
+
+__all__ = ["GAConfig", "GAResult", "GeneticAlgorithm"]
+
+Fitness = Callable[[list[int]], float]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of the GA (defaults per DESIGN.md §6.4)."""
+
+    population_size: int = 32
+    generations: int = 50
+    parent_fraction: float = 0.5
+    mutation_rate: float = 0.2
+    elitism: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise OptimizationError("population_size must be >= 2")
+        if self.generations < 1:
+            raise OptimizationError("generations must be >= 1")
+        if not 0.0 < self.parent_fraction <= 1.0:
+            raise OptimizationError("parent_fraction must be in (0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise OptimizationError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elitism < self.population_size:
+            raise OptimizationError("elitism must be in [0, population_size)")
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run."""
+
+    best: list[int]
+    best_fitness: float
+    generations_run: int
+    history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class GeneticAlgorithm:
+    """Permutation GA with rank selection and elitism."""
+
+    def __init__(
+        self,
+        genes: Sequence[int],
+        fitness: Fitness,
+        config: GAConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not genes:
+            raise OptimizationError("GA needs at least one gene")
+        self.genes = list(genes)
+        self.fitness = fitness
+        self.config = config or GAConfig()
+        self.rng = RandomSource(seed, "ga")
+        self._cache: dict[tuple[int, ...], float] = {}
+        self._evaluations = 0
+
+    def _score(self, chromosome: list[int]) -> float:
+        key = tuple(chromosome)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.fitness(chromosome)
+        self._cache[key] = value
+        self._evaluations += 1
+        return value
+
+    def run(self, seed_chromosomes: Sequence[Sequence[int]] = ()) -> GAResult:
+        """Evolve and return the best permutation found.
+
+        ``seed_chromosomes`` lets callers inject known-good orders (e.g.
+        arrival order) into the initial population.
+        """
+        cfg = self.config
+        population: list[list[int]] = [list(c) for c in seed_chromosomes]
+        while len(population) < cfg.population_size:
+            population.append(random_permutation(self.genes, self.rng))
+        population = population[: cfg.population_size]
+
+        history: list[float] = []
+        best: list[int] = population[0]
+        best_fitness = self._score(best)
+
+        for _generation in range(cfg.generations):
+            ranked = sorted(population, key=self._score, reverse=True)
+            if self._score(ranked[0]) > best_fitness:
+                best = list(ranked[0])
+                best_fitness = self._score(ranked[0])
+            history.append(best_fitness)
+
+            parent_count = max(2, int(cfg.parent_fraction * cfg.population_size))
+            parents = ranked[:parent_count]
+
+            next_population: list[list[int]] = [
+                list(chromosome) for chromosome in ranked[: cfg.elitism]
+            ]
+            while len(next_population) < cfg.population_size:
+                mother = self.rng.choice(parents)
+                father = self.rng.choice(parents)
+                child = order_crossover(mother, father, self.rng)
+                if self.rng.uniform(0.0, 1.0) < cfg.mutation_rate:
+                    child = swap_mutation(child, self.rng)
+                next_population.append(child)
+            population = next_population
+
+        # Final ranking of the last generation.
+        ranked = sorted(population, key=self._score, reverse=True)
+        if self._score(ranked[0]) > best_fitness:
+            best = list(ranked[0])
+            best_fitness = self._score(ranked[0])
+        history.append(best_fitness)
+
+        return GAResult(
+            best=best,
+            best_fitness=best_fitness,
+            generations_run=cfg.generations,
+            history=history,
+            evaluations=self._evaluations,
+        )

@@ -1,0 +1,16 @@
+"""Result formatting shared by the CLI, examples and benchmarks."""
+
+from repro.reporting.charts import bar_chart, grouped_bar_chart
+from repro.reporting.export import render, to_csv, to_json
+from repro.reporting.tables import ResultTable, format_series, format_table
+
+__all__ = [
+    "ResultTable",
+    "bar_chart",
+    "format_series",
+    "format_table",
+    "grouped_bar_chart",
+    "render",
+    "to_csv",
+    "to_json",
+]

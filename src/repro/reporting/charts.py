@@ -1,0 +1,100 @@
+"""ASCII bar charts — the paper's figures, in a terminal.
+
+Figures 5, 8 and 9 are grouped bar charts; :func:`bar_chart` renders the
+same visual from a result table so ``python -m repro fig5 --chart`` can be
+eyeballed against the paper's plots without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+from repro.reporting.tables import ResultTable
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BLOCK = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    max_value: float | None = None,
+) -> str:
+    """One horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must align")
+    if not labels:
+        raise ConfigError("bar_chart needs at least one bar")
+    if any(value < 0 for value in values):
+        raise ConfigError("bar_chart values must be >= 0")
+    peak = max_value if max_value is not None else max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(width * min(value, peak) / peak))
+        bar = _BLOCK * filled
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}}| {value:.4f}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    table: ResultTable,
+    group_by: str | Sequence[str],
+    series: str,
+    value: str,
+    width: int = 40,
+) -> str:
+    """Render a result table as grouped bars (one block per group).
+
+    Parameters
+    ----------
+    table:
+        The experiment output.
+    group_by:
+        Column (or columns) defining the groups (e.g. ``fq_fs`` or
+        ``("placement", "sites")``).
+    series:
+        Column naming the bars inside each group (e.g. ``approach``).
+    value:
+        Numeric column to plot (e.g. ``mean_iv``).
+    """
+    group_columns = [group_by] if isinstance(group_by, str) else list(group_by)
+    for column in (*group_columns, series, value):
+        if column not in table.headers:
+            raise ConfigError(f"table has no column {column!r}")
+    group_indices = [table.headers.index(column) for column in group_columns]
+    series_index = table.headers.index(series)
+    value_index = table.headers.index(value)
+
+    groups: dict = {}
+    order: list = []
+    for row in table.rows:
+        key = tuple(row[index] for index in group_indices)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((str(row[series_index]), float(row[value_index])))
+
+    peak = max(
+        (v for bars in groups.values() for _label, v in bars), default=1.0
+    )
+    blocks = [table.title, ""]
+    for key in order:
+        labels = [label for label, _v in groups[key]]
+        values = [v for _label, v in groups[key]]
+        header = ", ".join(
+            f"{column} = {part}" for column, part in zip(group_columns, key)
+        )
+        blocks.append(
+            bar_chart(
+                labels, values, width=width, title=header, max_value=peak,
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks).rstrip()

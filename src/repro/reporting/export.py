@@ -1,0 +1,46 @@
+"""Machine-readable export of result tables (CSV and JSON).
+
+The CLI's ``--format``/``--output`` options use these so experiment results
+can feed plotting scripts or regression dashboards directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.errors import ConfigError
+from repro.reporting.tables import ResultTable
+
+__all__ = ["to_csv", "to_json", "render"]
+
+
+def to_csv(table: ResultTable) -> str:
+    """The table as CSV text (header row included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.headers)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(table: ResultTable, indent: int | None = 2) -> str:
+    """The table as a JSON document: title plus a list of row objects."""
+    payload = {
+        "title": table.title,
+        "rows": [dict(zip(table.headers, row)) for row in table.rows],
+    }
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def render(table: ResultTable, fmt: str = "text") -> str:
+    """Render a table in one of ``text``, ``csv`` or ``json``."""
+    if fmt == "text":
+        return table.render()
+    if fmt == "csv":
+        return to_csv(table)
+    if fmt == "json":
+        return to_json(table)
+    raise ConfigError(f"unknown output format {fmt!r} (text | csv | json)")

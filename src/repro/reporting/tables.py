@@ -1,0 +1,94 @@
+"""Plain-text tables and series for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["format_table", "ResultTable", "format_series"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ConfigError("format_table needs at least one header")
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+@dataclass
+class ResultTable:
+    """An accumulating result table with a title."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        """Append one row."""
+        if len(cells) != len(self.headers):
+            raise ConfigError(
+                f"row width {len(cells)} != header width {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """The formatted table."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def column(self, header: str) -> list:
+        """All values of one column."""
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise ConfigError(f"table has no column {header!r}")
+        return [row[index] for row in self.rows]
+
+
+def format_series(
+    label: str,
+    xs: Sequence,
+    ys: Sequence[float],
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ConfigError("series xs and ys must align")
+    pairs = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{label} [{x_name} -> {y_name}]: {pairs}"

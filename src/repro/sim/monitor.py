@@ -1,0 +1,176 @@
+"""Statistics collection for simulation runs.
+
+:class:`Monitor` accumulates sample statistics online (Welford's algorithm);
+:class:`TimeWeightedMonitor` integrates a piecewise-constant signal such as a
+queue length over simulated time.  Both are what the experiment harness uses
+to report mean information values and latencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+__all__ = ["Monitor", "TimeWeightedMonitor", "Tally"]
+
+
+class Monitor:
+    """Online mean / variance / extrema of observed samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._values: list[float] = []
+        self.keep_values = True
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if self.keep_values:
+            self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return self._mean * self.count
+
+    @property
+    def values(self) -> list[float]:
+        """The raw samples (copies), if retention is enabled."""
+        return list(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of retained samples."""
+        if not self.keep_values:
+            raise SimulationError("percentile needs keep_values=True")
+        if not self._values:
+            raise SimulationError("percentile of an empty monitor")
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile q must be in [0, 100], got {q}")
+        data = sorted(self._values)
+        if len(data) == 1:
+            return data[0]
+        rank = (q / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] * (1 - frac) + data[high] * frac
+
+    def merge(self, other: "Monitor") -> None:
+        """Fold another monitor's samples into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self._values = list(other._values)
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        if self.keep_values and other.keep_values:
+            self._values.extend(other._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Monitor({self.name!r}, n={self.count}, mean={self.mean:.4f})"
+
+
+class TimeWeightedMonitor:
+    """Time-integral of a piecewise-constant signal (e.g. queue length)."""
+
+    def __init__(self, sim_now, initial: float = 0.0, name: str = "") -> None:
+        """``sim_now`` is a zero-argument callable returning current time."""
+        self.name = name
+        self._now = sim_now
+        self._level = float(initial)
+        self._last_change = self._now()
+        self._area = 0.0
+        self._start = self._last_change
+        self.maximum = float(initial)
+
+    @property
+    def level(self) -> float:
+        """Current signal level."""
+        return self._level
+
+    def set(self, level: float) -> None:
+        """Change the signal level at the current simulation time."""
+        now = self._now()
+        self._area += self._level * (now - self._last_change)
+        self._last_change = now
+        self._level = float(level)
+        self.maximum = max(self.maximum, self._level)
+
+    def add(self, delta: float) -> None:
+        """Shift the signal level by ``delta``."""
+        self.set(self._level + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted mean of the signal since creation."""
+        now = self._now()
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last_change)
+        return area / elapsed
+
+
+class Tally:
+    """A named bag of counters for discrete outcomes."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def hit(self, key: str, times: int = 1) -> None:
+        """Increment ``key`` by ``times``."""
+        self._counts[key] = self._counts.get(key, 0) + times
+
+    def count(self, key: str) -> int:
+        """Current count for ``key`` (0 if never hit)."""
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        """Sum over all keys."""
+        return sum(self._counts.values())

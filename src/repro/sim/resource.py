@@ -1,0 +1,123 @@
+"""Capacity-constrained resources (servers) with queueing.
+
+The paper's *computational latency* includes "query queuing time": queries
+contend for the local federation server and for each remote server.  A
+:class:`Resource` models one such server pool; requests queue FIFO (or by
+priority for :class:`PriorityResource`) and are granted as units free up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.scheduler import Simulator
+
+__all__ = ["Request", "Resource", "PriorityResource"]
+
+
+class Request(Event):
+    """A pending claim on a resource unit.
+
+    Fires (with the request itself as value) once the unit is granted.
+    Release by passing it back to :meth:`Resource.release`.
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.sim, name=f"Request({resource.name})")
+        self.resource = resource
+        self.priority = priority
+        self.requested_at = resource.sim.now
+        self.granted_at: float | None = None
+
+    @property
+    def wait_time(self) -> float:
+        """Minutes spent queueing, or time-so-far if still pending."""
+        end = self.granted_at if self.granted_at is not None else self.sim.now
+        return end - self.requested_at
+
+    def cancel(self) -> None:
+        """Withdraw a still-queued request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A FIFO server pool with integral ``capacity``."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name or "resource"
+        self._users: set[Request] = set()
+        self._queue: list[tuple[float, int, Request]] = []
+        self._seq = 0
+        self.total_requests = 0
+        self.total_wait = 0.0
+
+    # -- queue discipline (overridden by PriorityResource) -----------------
+
+    def _sort_key(self, request: Request) -> float:
+        return 0.0  # FIFO: sequence number alone decides
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests still waiting."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        req = Request(self, priority=priority)
+        self.total_requests += 1
+        self._seq += 1
+        heapq.heappush(self._queue, (self._sort_key(req), self._seq, req))
+        self._dispatch()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted unit to the pool."""
+        if request not in self._users:
+            raise SimulationError(
+                f"release of a request that does not hold {self.name!r}"
+            )
+        self._users.discard(request)
+        self._dispatch()
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            raise SimulationError("cannot cancel a granted request; release it")
+        self._queue = [entry for entry in self._queue if entry[2] is not request]
+        heapq.heapify(self._queue)
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _key, _seq, req = heapq.heappop(self._queue)
+            req.granted_at = self.sim.now
+            self.total_wait += req.wait_time
+            self._users.add(req)
+            req.succeed(req)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}({self.name!r}, capacity={self.capacity}, "
+            f"in_use={self.in_use}, queued={self.queue_length})"
+        )
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by request priority (low first)."""
+
+    def _sort_key(self, request: Request) -> float:
+        return request.priority

@@ -1,0 +1,36 @@
+"""DSS queries, workloads, TPC-H query set, and random workload generators."""
+
+from repro.workload.arrival import ArrivalProcess, poisson_arrivals
+from repro.workload.business import POLICIES, assign_business_values
+from repro.workload.generator import (
+    WORK_PER_ROW,
+    overlapping_workload,
+    random_queries,
+)
+from repro.workload.query import DSSQuery, Workload
+from repro.workload.serialize import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workload.tpch_queries import TPCH_FOOTPRINTS, tpch_queries, tpch_query
+
+__all__ = [
+    "ArrivalProcess",
+    "DSSQuery",
+    "POLICIES",
+    "assign_business_values",
+    "TPCH_FOOTPRINTS",
+    "WORK_PER_ROW",
+    "Workload",
+    "load_workload",
+    "overlapping_workload",
+    "poisson_arrivals",
+    "random_queries",
+    "save_workload",
+    "tpch_queries",
+    "tpch_query",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,59 @@
+"""Query arrival processes.
+
+The paper drives query arrivals with JavaSim's ``ExponentialStream`` — a
+Poisson arrival process.  :class:`ArrivalProcess` wraps any
+:class:`~repro.sim.streams.RandomStream` of inter-arrival times and yields
+absolute arrival instants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomSource
+from repro.sim.streams import ExponentialStream, RandomStream
+
+__all__ = ["ArrivalProcess", "poisson_arrivals"]
+
+
+class ArrivalProcess:
+    """Generates absolute arrival times from an inter-arrival stream."""
+
+    def __init__(self, stream: RandomStream, start: float = 0.0) -> None:
+        if start < 0:
+            raise WorkloadError(f"start must be >= 0, got {start}")
+        self.stream = stream
+        self._clock = float(start)
+
+    @property
+    def clock(self) -> float:
+        """Time of the last generated arrival (or the start time)."""
+        return self._clock
+
+    def next_arrival(self) -> float:
+        """Advance to and return the next arrival instant."""
+        self._clock += self.stream.sample()
+        return self._clock
+
+    def take(self, count: int) -> list[float]:
+        """The next ``count`` arrival instants."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        return [self.next_arrival() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[float]:
+        while True:
+            yield self.next_arrival()
+
+
+def poisson_arrivals(
+    mean_interarrival: float,
+    count: int,
+    seed: int = 0,
+    start: float = 0.0,
+) -> list[float]:
+    """``count`` Poisson arrivals with the given mean inter-arrival time."""
+    source = RandomSource(seed, "arrivals")
+    stream = ExponentialStream(mean_interarrival, source)
+    return ArrivalProcess(stream, start=start).take(count)

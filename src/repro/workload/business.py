@@ -1,0 +1,70 @@
+"""Business-value assignment policies.
+
+The paper assumes "each report is assigned with a business value; denoting
+its importance to business decision-making" but never says how values are
+chosen.  These policies cover the realistic cases the examples and
+experiments need:
+
+* ``uniform`` — every report worth the same (the paper's normalized runs);
+* ``by_footprint`` — wider reports (more tables) matter more, logarithmically;
+* ``pareto`` — a heavy-tailed book of business: few critical reports carry
+  most of the value (classic 80/20).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomSource
+from repro.workload.query import DSSQuery
+
+__all__ = ["POLICIES", "assign_business_values"]
+
+POLICIES = ("uniform", "by_footprint", "pareto")
+
+
+def assign_business_values(
+    queries: list[DSSQuery],
+    policy: str = "uniform",
+    scale: float = 1.0,
+    seed: int = 0,
+    pareto_alpha: float = 1.2,
+) -> list[DSSQuery]:
+    """Return copies of ``queries`` with business values per ``policy``.
+
+    Parameters
+    ----------
+    queries:
+        The reports to value (left untouched; copies are returned).
+    policy:
+        One of :data:`POLICIES`.
+    scale:
+        Base value: a one-table uniform report is worth ``scale``.
+    seed:
+        Randomness for the ``pareto`` policy.
+    pareto_alpha:
+        Tail exponent of the Pareto draw (smaller = heavier tail).
+    """
+    if policy not in POLICIES:
+        raise WorkloadError(
+            f"unknown business-value policy {policy!r}; expected one of "
+            f"{POLICIES}"
+        )
+    if scale <= 0:
+        raise WorkloadError(f"scale must be > 0, got {scale}")
+    if pareto_alpha <= 0:
+        raise WorkloadError(f"pareto_alpha must be > 0, got {pareto_alpha}")
+
+    rng = RandomSource(seed, "business-values")
+    valued = []
+    for query in queries:
+        if policy == "uniform":
+            value = scale
+        elif policy == "by_footprint":
+            value = scale * (1.0 + math.log1p(len(query.tables)))
+        else:  # pareto
+            u = rng.uniform(1e-9, 1.0)
+            value = scale * (1.0 - u) ** (-1.0 / pareto_alpha)
+        valued.append(query.with_value(value))
+    return valued

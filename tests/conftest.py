@@ -1,0 +1,75 @@
+"""Shared fixtures: small, session-scoped instances of the expensive data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.value import DiscountRates
+from repro.data.synthetic import generate_synthetic
+from repro.data.tpch import generate_tpch
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import StaticCostProvider
+from repro.sim.rng import RandomSource
+from repro.sim.scheduler import Simulator
+from repro.workload.query import DSSQuery
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator starting at t=0."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic root random source."""
+    return RandomSource(12345, "tests")
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """A tiny TPC-H instance shared across the whole test session."""
+    return generate_tpch(scale=0.0005, seed=7)
+
+
+@pytest.fixture(scope="session")
+def synthetic_small():
+    """A small synthetic instance (20 tables, materialized rows)."""
+    return generate_synthetic(num_tables=20, rows_range=(30, 120), seed=11)
+
+
+@pytest.fixture(scope="session")
+def synthetic_schema_only():
+    """A 60-table synthetic instance without materialized rows."""
+    return generate_synthetic(
+        num_tables=60, rows_range=(200, 2000), seed=11, materialize_rows=False
+    )
+
+
+def build_fig4_catalog() -> Catalog:
+    """The paper's Figure 4 world: 4 tables, staggered sync cycles."""
+    catalog = Catalog()
+    for index, (name, (offset, period)) in enumerate(
+        {
+            "T1": (4.0, 9.0),
+            "T2": (6.0, 8.0),
+            "T3": (8.0, 8.0),
+            "T4": (2.0, 10.5),
+        }.items()
+    ):
+        catalog.add_table(TableDef(name, site=index, row_count=1_000))
+        times = [offset + k * period for k in range(8)]
+        catalog.add_replica(name, FixedSyncSchedule(times, tail_period=period))
+    return catalog
+
+
+@pytest.fixture
+def fig4_world():
+    """(catalog, provider, query, rates) of the Figure 4 example."""
+    catalog = build_fig4_catalog()
+    query = DSSQuery(query_id=1, name="fig4", tables=("T1", "T2", "T3", "T4"))
+    provider = StaticCostProvider(
+        catalog, {0: 2.0, 1: 4.0, 2: 6.0, 3: 8.0, 4: 10.0}
+    )
+    rates = DiscountRates.symmetric(0.1)
+    return catalog, provider, query, rates

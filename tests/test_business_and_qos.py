@@ -1,0 +1,151 @@
+"""Unit tests: business-value policies and QoS synchronization planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.qos import (
+    audit_staleness,
+    schedules_for_staleness_bounds,
+)
+from repro.sim.rng import RandomSource
+from repro.workload.business import POLICIES, assign_business_values
+from repro.workload.query import DSSQuery
+
+
+def make_queries() -> list[DSSQuery]:
+    return [
+        DSSQuery(query_id=1, name="narrow", tables=("a",)),
+        DSSQuery(query_id=2, name="medium", tables=("a", "b", "c")),
+        DSSQuery(query_id=3, name="wide", tables=tuple("abcdefgh")),
+    ]
+
+
+class TestBusinessValues:
+    def test_uniform_policy(self):
+        valued = assign_business_values(make_queries(), "uniform", scale=3.0)
+        assert all(query.business_value == 3.0 for query in valued)
+
+    def test_by_footprint_monotone_in_width(self):
+        valued = assign_business_values(make_queries(), "by_footprint")
+        values = {query.name: query.business_value for query in valued}
+        assert values["narrow"] < values["medium"] < values["wide"]
+
+    def test_pareto_is_heavy_tailed_and_positive(self):
+        queries = [
+            DSSQuery(query_id=i, name=f"q{i}", tables=("a",))
+            for i in range(300)
+        ]
+        valued = assign_business_values(queries, "pareto", seed=3)
+        values = sorted(q.business_value for q in valued)
+        assert all(value >= 1.0 - 1e-9 for value in values)
+        top_share = sum(values[-30:]) / sum(values)
+        assert top_share > 0.3  # top 10% carries an outsized share
+
+    def test_originals_untouched(self):
+        queries = make_queries()
+        assign_business_values(queries, "by_footprint")
+        assert all(query.business_value == 1.0 for query in queries)
+
+    def test_deterministic_given_seed(self):
+        queries = make_queries()
+        a = assign_business_values(queries, "pareto", seed=7)
+        b = assign_business_values(queries, "pareto", seed=7)
+        assert [q.business_value for q in a] == [q.business_value for q in b]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            assign_business_values(make_queries(), "bogus")
+        with pytest.raises(WorkloadError):
+            assign_business_values(make_queries(), "uniform", scale=0.0)
+        with pytest.raises(WorkloadError):
+            assign_business_values(make_queries(), "pareto", pareto_alpha=0.0)
+
+    def test_policy_registry(self):
+        assert set(POLICIES) == {"uniform", "by_footprint", "pareto"}
+
+
+class TestQosSchedules:
+    def test_periods_equal_bounds(self):
+        schedules = schedules_for_staleness_bounds({"a": 5.0, "b": 2.0})
+        a_times = schedules["a"].completions_between(0.0, 20.0)
+        gaps = [t2 - t1 for t1, t2 in zip(a_times, a_times[1:])]
+        assert all(gap == pytest.approx(5.0) for gap in gaps)
+        b_times = schedules["b"].completions_between(0.0, 20.0)
+        assert len(b_times) > len(a_times)
+
+    def test_stagger_with_source(self):
+        source = RandomSource(3, "qos")
+        schedules = schedules_for_staleness_bounds(
+            {"a": 5.0, "b": 5.0}, source=source
+        )
+        first_a = schedules["a"].next_completion_after(0.0)
+        first_b = schedules["b"].next_completion_after(0.0)
+        assert first_a != first_b
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            schedules_for_staleness_bounds({})
+        with pytest.raises(ConfigError):
+            schedules_for_staleness_bounds({"a": 0.0})
+
+
+class TestStalenessAudit:
+    def make_catalog(self) -> Catalog:
+        catalog = Catalog()
+        catalog.add_table(TableDef("good", site=0, row_count=10))
+        catalog.add_table(TableDef("bad", site=0, row_count=10))
+        catalog.add_replica("good", FixedSyncSchedule([2.0, 4.0, 6.0, 8.0]))
+        catalog.add_replica("bad", FixedSyncSchedule([2.0, 9.0]))
+        return catalog
+
+    def test_compliant_replica_passes(self):
+        catalog = self.make_catalog()
+        audits = audit_staleness(
+            catalog, {"good": 2.5, "bad": 2.5}, horizon=10.0
+        )
+        by_name = {audit.table: audit for audit in audits}
+        assert by_name["good"].compliant
+        assert by_name["good"].worst_gap == pytest.approx(2.0)
+        assert not by_name["bad"].compliant
+        assert by_name["bad"].worst_gap == pytest.approx(7.0)
+
+    def test_counts_syncs(self):
+        catalog = self.make_catalog()
+        # The fixed schedule extends by its tail period (2.0), so the
+        # horizon of 10 sees completions at 2, 4, 6, 8 and 10.
+        audits = audit_staleness(catalog, {"good": 5.0}, 10.0, tables=["good"])
+        assert audits[0].sync_count == 5
+
+    def test_tail_gap_to_horizon_counts(self):
+        catalog = Catalog()
+        catalog.add_table(TableDef("t", site=0, row_count=1))
+        catalog.add_replica("t", FixedSyncSchedule([1.0], tail_period=100.0))
+        audits = audit_staleness(catalog, {"t": 5.0}, horizon=20.0)
+        assert audits[0].worst_gap == pytest.approx(19.0)
+        assert not audits[0].compliant
+
+    def test_qos_schedules_pass_their_own_audit(self):
+        bounds = {"x": 3.0, "y": 7.0}
+        catalog = Catalog()
+        for name in bounds:
+            catalog.add_table(TableDef(name, site=0, row_count=1))
+        schedules = schedules_for_staleness_bounds(
+            bounds, source=RandomSource(1, "q")
+        )
+        for name, schedule in schedules.items():
+            catalog.add_replica(name, schedule)
+        audits = audit_staleness(catalog, bounds, horizon=50.0)
+        assert all(audit.compliant for audit in audits)
+
+    def test_validation(self):
+        catalog = self.make_catalog()
+        with pytest.raises(ConfigError):
+            audit_staleness(catalog, {"good": 1.0}, horizon=0.0)
+        with pytest.raises(ConfigError):
+            audit_staleness(catalog, {}, horizon=5.0, tables=["good"])
+        catalog.add_table(TableDef("plain", site=0, row_count=1))
+        with pytest.raises(ConfigError):
+            audit_staleness(catalog, {"plain": 1.0}, 5.0, tables=["plain"])

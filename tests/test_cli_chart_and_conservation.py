@@ -1,0 +1,105 @@
+"""CLI chart flag and discrete-event conservation invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import warehouse_router
+from repro.core.value import DiscountRates
+from repro.federation.system import SystemConfig, TableSpec, build_system
+from repro.workload.query import DSSQuery
+
+
+class TestChartFlag:
+    def test_load_with_chart_renders_bars(self, capsys, monkeypatch):
+        from repro.experiments import cli
+        from repro.experiments.config import TpchSetup
+        from repro.experiments.load import LoadConfig, run_load_sweep
+
+        def small_sweep():
+            return run_load_sweep(
+                LoadConfig(
+                    setup=TpchSetup(scale=0.0005, seed=7),
+                    interarrival_means=(2.0, 10.0),
+                    approaches=("ivqp", "warehouse"),
+                    rounds=1,
+                )
+            )
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "load", lambda: [small_sweep()])
+        assert cli.main(["load", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "interarrival_min = " in out
+        assert "|#" in out  # at least one bar rendered
+
+    def test_chart_flag_ignored_for_non_text_formats(self, capsys):
+        from repro.experiments import cli
+
+        assert cli.main(["fig4", "--format", "csv", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "|#" not in out
+
+
+class TestConservation:
+    def test_local_server_busy_time_fits_in_makespan(self):
+        """With capacity c, total local processing <= c x makespan."""
+        capacity = 2
+        config = SystemConfig(
+            tables=[TableSpec("a", site=0, row_count=10_000)],
+            replicated=["a"],
+            sync_mode="periodic",
+            sync_mean_interval=3.0,
+            rates=DiscountRates(0.05, 0.05),
+            local_capacity=capacity,
+            seed=9,
+        )
+        system = build_system(config, warehouse_router)
+        for index in range(12):
+            system.submit(
+                DSSQuery(
+                    query_id=index + 1, name=f"q{index}", tables=("a",),
+                    base_work=15_000.0,
+                ),
+                at=1.0 + 0.1 * index,
+            )
+        system.run()
+        outcomes = system.outcomes
+        assert len(outcomes) == 12
+        busy = sum(o.plan.cost.local_minutes for o in outcomes)
+        makespan = max(o.completed_at for o in outcomes) - 1.0
+        assert busy <= capacity * makespan + 1e-6
+
+    def test_every_submission_produces_exactly_one_outcome(self):
+        config = SystemConfig(
+            tables=[TableSpec("a", site=0, row_count=1_000)],
+            replicated=["a"],
+            rates=DiscountRates(0.01, 0.01),
+        )
+        system = build_system(config, warehouse_router)
+        for index in range(7):
+            system.submit(
+                DSSQuery(query_id=index + 1, name=f"q{index}", tables=("a",)),
+                at=float(index + 1),
+            )
+        system.run()
+        names = sorted(o.query.name for o in system.outcomes)
+        assert names == sorted(f"q{i}" for i in range(7))
+
+    def test_queue_wait_is_nonnegative_everywhere(self):
+        config = SystemConfig(
+            tables=[TableSpec("a", site=0, row_count=30_000)],
+            replicated=["a"],
+            rates=DiscountRates(0.05, 0.05),
+            local_capacity=1,
+            seed=2,
+        )
+        system = build_system(config, warehouse_router)
+        for index in range(6):
+            system.submit(
+                DSSQuery(query_id=index + 1, name=f"q{index}", tables=("a",)),
+                at=1.0,
+            )
+        system.run()
+        assert all(o.queue_wait >= 0.0 for o in system.outcomes)
+        # Somebody actually queued in this pile-up.
+        assert max(o.queue_wait for o in system.outcomes) > 0.0

@@ -1,0 +1,143 @@
+"""Unit tests: starvation-prevention aging and the placement advisor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aging import AgingPolicy
+from repro.core.advisor import PlacementAdvisor
+from repro.core.value import DiscountRates, discount_factor
+from repro.errors import ConfigError, OptimizationError
+
+
+class TestAgingPolicy:
+    def test_zero_wait_zero_boost(self):
+        assert AgingPolicy(beta=0.2).boost(1.0, 0.0) == 0.0
+
+    def test_boost_grows_with_wait(self):
+        policy = AgingPolicy(beta=0.2)
+        assert policy.boost(1.0, 10.0) > policy.boost(1.0, 5.0) > 0.0
+
+    def test_boost_scales_with_business_value(self):
+        policy = AgingPolicy(beta=0.2)
+        assert policy.boost(10.0, 5.0) == pytest.approx(
+            10 * policy.boost(1.0, 5.0)
+        )
+
+    def test_grace_period_delays_boost(self):
+        policy = AgingPolicy(beta=0.2, grace_period=5.0)
+        assert policy.boost(1.0, 5.0) == 0.0
+        assert policy.boost(1.0, 6.0) > 0.0
+
+    def test_exponential_formula(self):
+        policy = AgingPolicy(beta=0.5)
+        assert policy.boost(2.0, 3.0) == pytest.approx(2.0 * (1.5**3 - 1.0))
+
+    def test_priority_adds_boost_to_iv(self):
+        policy = AgingPolicy(beta=0.2)
+        assert policy.priority(0.5, 1.0, 4.0) == pytest.approx(
+            0.5 + policy.boost(1.0, 4.0)
+        )
+
+    def test_validate_against_requires_beta_above_rates(self):
+        policy = AgingPolicy(beta=0.05)
+        with pytest.raises(ConfigError):
+            policy.validate_against(DiscountRates(0.01, 0.1))
+        policy.validate_against(DiscountRates(0.01, 0.04))  # ok
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            AgingPolicy(beta=0.0)
+        with pytest.raises(ConfigError):
+            AgingPolicy(beta=0.1, grace_period=-1.0)
+        with pytest.raises(ConfigError):
+            AgingPolicy(beta=0.1).boost(-1.0, 1.0)
+        with pytest.raises(ConfigError):
+            AgingPolicy(beta=0.1).boost(1.0, -1.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    beta=st.floats(min_value=0.11, max_value=0.9),
+    rate=st.floats(min_value=0.001, max_value=0.1),
+    wait=st.floats(min_value=1.0, max_value=60.0),
+)
+def test_boost_eventually_outpaces_decay(beta, rate, wait):
+    """Section 3.3's requirement: the boost grows faster than IV decays,
+    so boosted priority at a long wait exceeds the un-aged IV at no wait."""
+    policy = AgingPolicy(beta=beta)
+    decayed_iv = discount_factor(rate, wait)  # BV=1 discounted by waiting
+    priority = policy.priority(decayed_iv, 1.0, wait)
+    assert priority >= 1.0 - 1e-9 or policy.boost(1.0, wait) > 1.0 - decayed_iv
+
+
+class TestPlacementAdvisor:
+    def test_budget_validation(self):
+        with pytest.raises(OptimizationError):
+            PlacementAdvisor(["a"], lambda s: 0.0, budget=2)
+        with pytest.raises(OptimizationError):
+            PlacementAdvisor(["a"], lambda s: 0.0, budget=-1)
+        with pytest.raises(OptimizationError):
+            PlacementAdvisor(["a", "a"], lambda s: 0.0, budget=1)
+
+    def test_greedy_picks_additive_best(self):
+        values = {"a": 0.3, "b": 0.5, "c": 0.1}
+
+        def evaluate(replicas: frozenset) -> float:
+            return sum(values[name] for name in replicas)
+
+        advisor = PlacementAdvisor(["a", "b", "c"], evaluate, budget=2)
+        result = advisor.recommend()
+        assert result.replicas == frozenset({"a", "b"})
+        assert result.expected_value == pytest.approx(0.8)
+
+    def test_stops_early_when_nothing_improves(self):
+        def evaluate(replicas: frozenset) -> float:
+            return 1.0 - 0.1 * len(replicas)  # every replica hurts
+
+        advisor = PlacementAdvisor(["a", "b", "c"], evaluate, budget=3)
+        result = advisor.recommend()
+        assert result.replicas == frozenset()
+        assert result.expected_value == pytest.approx(1.0)
+
+    def test_swap_escapes_greedy_trap(self):
+        """Greedy picks a first (best alone); the optimum is {b, c}."""
+
+        def evaluate(replicas: frozenset) -> float:
+            scores = {
+                frozenset(): 0.0,
+                frozenset("a"): 0.5,
+                frozenset("b"): 0.4,
+                frozenset("c"): 0.1,
+                frozenset("ab"): 0.55,
+                frozenset("ac"): 0.52,
+                frozenset("bc"): 0.9,
+            }
+            return scores.get(replicas, 0.6)
+
+        greedy_only = PlacementAdvisor(
+            ["a", "b", "c"], evaluate, budget=2, swap_passes=0
+        ).recommend()
+        assert greedy_only.replicas == frozenset("ab")
+
+        with_swaps = PlacementAdvisor(
+            ["a", "b", "c"], evaluate, budget=2, swap_passes=2
+        ).recommend()
+        assert with_swaps.replicas == frozenset("bc")
+        assert with_swaps.expected_value == pytest.approx(0.9)
+
+    def test_history_records_improvements(self):
+        def evaluate(replicas: frozenset) -> float:
+            return float(len(replicas))
+
+        result = PlacementAdvisor(["a", "b"], evaluate, budget=2).recommend()
+        assert len(result.history) == 2
+        assert "replicas" in result.describe()
+
+    def test_zero_budget(self):
+        result = PlacementAdvisor(
+            ["a"], lambda replicas: float(len(replicas)), budget=0
+        ).recommend()
+        assert result.replicas == frozenset()

@@ -1,0 +1,75 @@
+"""Unit tests: the route-comparison explanation API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explain import explain_choice
+from repro.core.value import DiscountRates
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import StaticCostProvider
+from repro.workload.query import DSSQuery
+
+
+class TestExplainOnFig4:
+    def test_chosen_beats_every_alternative(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        comparison = explain_choice(query, catalog, provider, rates, 11.0)
+        for label in comparison.alternatives:
+            assert comparison.margin_over(label) >= -1e-12, label
+
+    def test_alternatives_present_under_full_replication(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        comparison = explain_choice(query, catalog, provider, rates, 11.0)
+        assert set(comparison.alternatives) == {
+            "all-remote", "all-replica", "delayed-replica",
+        }
+
+    def test_delayed_alternative_starts_at_next_sync(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        comparison = explain_choice(query, catalog, provider, rates, 11.0)
+        delayed = comparison.alternatives["delayed-replica"]
+        assert delayed.start_time == pytest.approx(12.5)  # T4's next sync
+        assert delayed.delayed
+
+    def test_chosen_label_detects_canonical_route(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        # Right after every replica synced, all-replica is unbeatable.
+        comparison = explain_choice(query, catalog, provider, rates, 16.05)
+        assert comparison.chosen_label in {"all-replica", "custom-mix"}
+        if comparison.chosen_label == "all-replica":
+            assert comparison.margin_over("all-replica") == pytest.approx(0.0)
+
+    def test_table_rendering_marks_chosen_first(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        comparison = explain_choice(query, catalog, provider, rates, 11.0)
+        table = comparison.as_table()
+        assert table.rows[0][0].startswith("CHOSEN")
+        assert len(table.rows) == 1 + len(comparison.alternatives)
+
+
+class TestExplainPartialReplication:
+    def test_no_all_replica_without_full_replication(self):
+        catalog = Catalog()
+        catalog.add_table(TableDef("r", site=0, row_count=1_000))
+        catalog.add_table(TableDef("b", site=1, row_count=1_000))
+        catalog.add_replica("r", FixedSyncSchedule([1.0], tail_period=5.0))
+        provider = StaticCostProvider(catalog, {0: 1.0, 1: 2.0, 2: 4.0})
+        rates = DiscountRates.symmetric(0.05)
+        query = DSSQuery(query_id=1, name="q", tables=("r", "b"))
+        comparison = explain_choice(query, catalog, provider, rates, 3.0)
+        assert "all-replica" not in comparison.alternatives
+        assert "all-remote" in comparison.alternatives
+        # The delayed alternative still keeps the base-only table remote.
+        delayed = comparison.alternatives["delayed-replica"]
+        assert "b" in delayed.remote_tables
+
+    def test_no_delay_alternative_without_any_replica(self):
+        catalog = Catalog()
+        catalog.add_table(TableDef("b", site=0, row_count=1_000))
+        provider = StaticCostProvider(catalog, {0: 1.0, 1: 2.0})
+        rates = DiscountRates.symmetric(0.05)
+        query = DSSQuery(query_id=1, name="q", tables=("b",))
+        comparison = explain_choice(query, catalog, provider, rates, 3.0)
+        assert set(comparison.alternatives) == {"all-remote"}
+        assert comparison.chosen_label == "all-remote"

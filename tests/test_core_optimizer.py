@@ -1,0 +1,185 @@
+"""Unit and property tests: the scatter-and-gather IVQP optimizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration import enumerate_plans
+from repro.core.optimizer import IVQPOptimizer, SearchDiagnostics
+from repro.core.value import DiscountRates, information_value
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import StaticCostProvider
+from repro.workload.query import DSSQuery
+
+
+class TestFig4Walkthrough:
+    """The paper's worked example, end to end."""
+
+    def test_scatter_incumbent_matches_paper(self, fig4_world):
+        _catalog, _provider, _query, rates = fig4_world
+        scatter = information_value(1.0, 10.0, 10.0, rates)
+        assert scatter == pytest.approx(0.9**20)
+
+    def test_chosen_plan_beats_scatter(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 11.0)
+        assert plan.information_value > 0.9**20
+
+    def test_matches_exhaustive_oracle(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 11.0)
+        oracle_plans = enumerate_plans(
+            query, catalog, provider, rates, 11.0, 31.0, exhaustive=True
+        )
+        best = max(p.information_value for p in oracle_plans)
+        assert plan.information_value == pytest.approx(best)
+
+    def test_bound_tightens_during_search(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        diagnostics = SearchDiagnostics()
+        IVQPOptimizer(catalog, provider, rates).choose_plan(
+            query, 11.0, diagnostics
+        )
+        assert diagnostics.bound_tightenings >= 1
+        assert diagnostics.final_bound < 31.0
+
+    def test_gather_evaluates_far_fewer_plans_than_oracle(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        diagnostics = SearchDiagnostics()
+        IVQPOptimizer(catalog, provider, rates).choose_plan(
+            query, 11.0, diagnostics
+        )
+        oracle_plans = enumerate_plans(
+            query, catalog, provider, rates, 11.0, 31.0, exhaustive=True
+        )
+        assert diagnostics.plans_evaluated < len(oracle_plans) / 3
+
+
+class TestEdgeCases:
+    def test_no_replicas_returns_all_base_immediate(self):
+        catalog = Catalog()
+        catalog.add_table(TableDef("A", site=0, row_count=100))
+        provider = StaticCostProvider(catalog, {0: 1.0, 1: 3.0})
+        rates = DiscountRates.symmetric(0.1)
+        query = DSSQuery(query_id=1, name="q", tables=("A",))
+        plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 5.0)
+        assert plan.remote_tables == frozenset({"A"})
+        assert not plan.delayed
+
+    def test_unknown_table_raises(self, fig4_world):
+        catalog, provider, _query, rates = fig4_world
+        query = DSSQuery(query_id=9, name="bad", tables=("NOPE",))
+        with pytest.raises(Exception):
+            IVQPOptimizer(catalog, provider, rates).choose_plan(query, 0.0)
+
+    def test_fresh_replicas_win_immediately(self):
+        """Replicas synced an instant ago: the all-replica plan dominates."""
+        catalog = Catalog()
+        for index, name in enumerate(("A", "B")):
+            catalog.add_table(TableDef(name, site=index, row_count=100))
+            catalog.add_replica(name, FixedSyncSchedule([9.99], tail_period=50.0))
+        provider = StaticCostProvider(catalog, {0: 2.0, 1: 6.0, 2: 10.0})
+        rates = DiscountRates.symmetric(0.1)
+        query = DSSQuery(query_id=1, name="q", tables=("A", "B"))
+        plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 10.0)
+        assert plan.remote_tables == frozenset()
+        assert not plan.delayed
+
+    def test_stale_replicas_push_to_base_tables(self):
+        """Replicas synced long ago and never again soon: go remote."""
+        catalog = Catalog()
+        for index, name in enumerate(("A", "B")):
+            catalog.add_table(TableDef(name, site=index, row_count=100))
+            catalog.add_replica(
+                name, FixedSyncSchedule([1.0], tail_period=500.0)
+            )
+        provider = StaticCostProvider(catalog, {0: 2.0, 1: 4.0, 2: 6.0})
+        rates = DiscountRates(computational=0.01, synchronization=0.2)
+        query = DSSQuery(query_id=1, name="q", tables=("A", "B"))
+        plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 100.0)
+        assert plan.remote_tables == frozenset({"A", "B"})
+
+    def test_imminent_sync_triggers_delayed_plan(self):
+        """A sync completing in one minute is worth waiting for."""
+        catalog = Catalog()
+        catalog.add_table(TableDef("A", site=0, row_count=100))
+        catalog.add_replica(
+            "A", FixedSyncSchedule([1.0, 11.0], tail_period=500.0)
+        )
+        provider = StaticCostProvider(catalog, {0: 2.0, 1: 20.0})
+        rates = DiscountRates(computational=0.01, synchronization=0.2)
+        query = DSSQuery(query_id=1, name="q", tables=("A",))
+        plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 10.0)
+        assert plan.delayed
+        assert plan.start_time == pytest.approx(11.0)
+        assert plan.remote_tables == frozenset()
+
+    def test_respects_per_query_rates(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        optimizer = IVQPOptimizer(catalog, provider, rates)
+        patient = query.with_rates(DiscountRates(0.0, 0.3))
+        assert optimizer.rates_for(patient).synchronization == 0.3
+
+    def test_max_time_lines_caps_search(self, fig4_world):
+        catalog, provider, query, _rates = fig4_world
+        # Zero CL rate -> infinite bound; the cap must terminate the search.
+        rates = DiscountRates(computational=0.0, synchronization=0.1)
+        optimizer = IVQPOptimizer(catalog, provider, rates, max_time_lines=5)
+        plan = optimizer.choose_plan(query, 11.0)
+        assert plan is not None
+
+
+def _random_world(periods, offsets, submit, costs_base, cost_step):
+    catalog = Catalog()
+    names = []
+    for index, (period, offset) in enumerate(zip(periods, offsets)):
+        name = f"T{index}"
+        names.append(name)
+        catalog.add_table(TableDef(name, site=index, row_count=100))
+        times = [offset + k * period for k in range(40)]
+        catalog.add_replica(name, FixedSyncSchedule(times, tail_period=period))
+    costs = {k: costs_base + cost_step * k for k in range(len(names) + 1)}
+    provider = StaticCostProvider(catalog, costs)
+    query = DSSQuery(query_id=1, name="prop", tables=tuple(names))
+    return catalog, provider, query
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    periods=st.lists(
+        st.floats(min_value=2.0, max_value=20.0), min_size=1, max_size=4
+    ),
+    offset_fractions=st.lists(
+        st.floats(min_value=0.05, max_value=0.95), min_size=4, max_size=4
+    ),
+    submit=st.floats(min_value=0.0, max_value=40.0),
+    rate=st.floats(min_value=0.02, max_value=0.3),
+    costs_base=st.floats(min_value=0.5, max_value=4.0),
+    cost_step=st.floats(min_value=0.5, max_value=4.0),
+)
+def test_scatter_gather_matches_oracle_on_uniform_costs(
+    periods, offset_fractions, submit, rate, costs_base, cost_step
+):
+    """With per-table-count costs, gather pruning is lossless: the bounded
+    search always finds the exhaustive optimum."""
+    offsets = [
+        fraction * period
+        for fraction, period in zip(offset_fractions, periods)
+    ]
+    catalog, provider, query = _random_world(
+        periods, offsets, submit, costs_base, cost_step
+    )
+    rates = DiscountRates.symmetric(rate)
+    plan = IVQPOptimizer(catalog, provider, rates).choose_plan(query, submit)
+
+    worst_cost = costs_base + cost_step * len(periods)
+    horizon = submit + 2.0 * worst_cost + max(periods) + 1.0
+    oracle = max(
+        p.information_value
+        for p in enumerate_plans(
+            query, catalog, provider, rates, submit, horizon, exhaustive=True
+        )
+    )
+    assert plan.information_value == pytest.approx(oracle, rel=1e-9)

@@ -1,0 +1,185 @@
+"""Unit tests: query plans, candidate enumeration, dominance pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import (
+    all_combos,
+    enumerate_plans,
+    gather_combos,
+    make_plan,
+    split_tables,
+    sync_points_between,
+)
+from repro.core.plan import TableVersion, VersionKind
+from repro.errors import PlanError
+from repro.federation.costmodel import ComboCost
+from repro.workload.query import DSSQuery
+
+
+class TestTableVersion:
+    def test_negative_freshness_rejected(self):
+        with pytest.raises(PlanError):
+            TableVersion("t", VersionKind.BASE, -1.0)
+
+
+class TestQueryPlanInvariants:
+    def make(self, fig4_world, remote, start=11.0, submitted=11.0):
+        catalog, provider, query, rates = fig4_world
+        return make_plan(
+            query, catalog, provider, rates, submitted, start, frozenset(remote)
+        )
+
+    def test_plan_covers_exactly_query_tables(self, fig4_world):
+        plan = self.make(fig4_world, {"T1", "T2", "T3", "T4"})
+        assert {v.table for v in plan.versions} == {"T1", "T2", "T3", "T4"}
+
+    def test_remote_and_replica_partition(self, fig4_world):
+        plan = self.make(fig4_world, {"T1"})
+        assert plan.remote_tables == frozenset({"T1"})
+        assert plan.replica_tables == frozenset({"T2", "T3", "T4"})
+
+    def test_base_version_freshness_is_start_time(self, fig4_world):
+        plan = self.make(fig4_world, {"T1", "T2", "T3", "T4"}, start=11.0)
+        assert all(v.freshness == 11.0 for v in plan.versions)
+        # SL == CL for an immediate all-base plan (paper Section 2).
+        assert plan.synchronization_latency == pytest.approx(
+            plan.computational_latency
+        )
+
+    def test_replica_version_uses_last_sync(self, fig4_world):
+        plan = self.make(fig4_world, set())
+        by_table = {v.table: v.freshness for v in plan.versions}
+        assert by_table == {"T1": 4.0, "T2": 6.0, "T3": 8.0, "T4": 2.0}
+
+    def test_oldest_freshness_decides_sl(self, fig4_world):
+        plan = self.make(fig4_world, set())
+        assert plan.oldest_freshness == 2.0  # T4's replica
+        assert plan.synchronization_latency == pytest.approx(
+            plan.completion_time - 2.0
+        )
+
+    def test_delay_increases_cl(self, fig4_world):
+        immediate = self.make(fig4_world, set(), start=11.0)
+        delayed = self.make(fig4_world, set(), start=12.0)
+        assert delayed.delayed
+        assert delayed.computational_latency == pytest.approx(
+            immediate.computational_latency + 1.0
+        )
+
+    def test_start_before_submission_rejected(self, fig4_world):
+        with pytest.raises(PlanError):
+            self.make(fig4_world, set(), start=10.0, submitted=11.0)
+
+    def test_describe_mentions_versions(self, fig4_world):
+        plan = self.make(fig4_world, {"T1"})
+        text = plan.describe()
+        assert "T1[T]" in text
+        assert "T2[R]" in text
+
+
+class TestSplitAndCombos:
+    def test_split_tables(self, fig4_world):
+        catalog, _provider, query, _rates = fig4_world
+        replicated, base_only = split_tables(query, catalog)
+        assert set(replicated) == {"T1", "T2", "T3", "T4"}
+        assert base_only == []
+
+    def test_split_with_unreplicated_table(self, fig4_world):
+        catalog, _provider, _query, _rates = fig4_world
+        from repro.federation.catalog import TableDef
+
+        catalog.add_table(TableDef("T5", site=0, row_count=10))
+        query = DSSQuery(query_id=2, name="mixed", tables=("T1", "T5"))
+        replicated, base_only = split_tables(query, catalog)
+        assert replicated == ["T1"]
+        assert base_only == ["T5"]
+
+    def test_gather_combos_are_stalest_prefixes(self, fig4_world):
+        catalog, _provider, query, _rates = fig4_world
+        combos = gather_combos(query, catalog, at_time=11.0)
+        # Staleness order at t=11: T4(2), T1(4), T2(6), T3(8).
+        assert combos == [
+            frozenset(),
+            frozenset({"T4"}),
+            frozenset({"T4", "T1"}),
+            frozenset({"T4", "T1", "T2"}),
+            frozenset({"T4", "T1", "T2", "T3"}),
+        ]
+
+    def test_gather_combos_reorder_after_sync(self, fig4_world):
+        catalog, _provider, query, _rates = fig4_world
+        # At t=14 freshness is T1:13, T2:14, T3:8, T4:12.5 -> stalest T3.
+        combos = gather_combos(query, catalog, at_time=14.0)
+        assert combos[1] == frozenset({"T3"})
+
+    def test_all_combos_counts(self, fig4_world):
+        catalog, _provider, query, _rates = fig4_world
+        assert len(all_combos(query, catalog)) == 2**4
+
+    def test_unreplicated_tables_in_every_combo(self, fig4_world):
+        catalog, _provider, _query, _rates = fig4_world
+        from repro.federation.catalog import TableDef
+
+        catalog.add_table(TableDef("T9", site=0, row_count=10))
+        query = DSSQuery(query_id=3, name="m", tables=("T1", "T9"))
+        for combo in all_combos(query, catalog):
+            assert "T9" in combo
+        for combo in gather_combos(query, catalog, 11.0):
+            assert "T9" in combo
+
+
+class TestSyncPointsAndEnumeration:
+    def test_sync_points_window(self, fig4_world):
+        catalog, _provider, query, _rates = fig4_world
+        points = sync_points_between(query, catalog, 11.0, 16.0)
+        assert points == [12.5, 13.0, 14.0, 16.0]
+
+    def test_sync_points_empty_interval(self, fig4_world):
+        catalog, _provider, query, _rates = fig4_world
+        assert sync_points_between(query, catalog, 16.0, 10.0) == []
+
+    def test_enumerate_plans_deduplicates(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        plans = enumerate_plans(
+            query, catalog, provider, rates, 11.0, 16.0, exhaustive=True
+        )
+        keys = {(plan.start_time, plan.remote_tables) for plan in plans}
+        assert len(keys) == len(plans)
+
+    def test_enumerate_includes_immediate_and_delayed(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        plans = enumerate_plans(
+            query, catalog, provider, rates, 11.0, 16.0, exhaustive=False
+        )
+        starts = {plan.start_time for plan in plans}
+        assert 11.0 in starts
+        assert 12.5 in starts
+
+    def test_missing_replica_read_locally_raises(self, fig4_world):
+        catalog, provider, _query, rates = fig4_world
+        from repro.federation.catalog import TableDef
+
+        catalog.add_table(TableDef("T7", site=1, row_count=10))
+        query = DSSQuery(query_id=5, name="bad", tables=("T7",))
+        with pytest.raises(PlanError):
+            make_plan(
+                query, catalog, provider, rates, 0.0, 0.0, frozenset()
+            )
+
+
+class TestComboCost:
+    def test_processing_is_longest_leg_plus_local(self):
+        cost = ComboCost(
+            site_legs=((0, 3.0), (1, 5.0)), local_minutes=2.0, transmission=0.5
+        )
+        assert cost.processing == 7.0
+        assert cost.total == 7.5
+        assert cost.remote_sites == (0, 1)
+        assert cost.leg_minutes(1) == 5.0
+        assert cost.leg_minutes(9) == 0.0
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(Exception):
+            ComboCost(site_legs=(), local_minutes=-1.0, transmission=0.0)

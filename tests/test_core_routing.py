@@ -1,0 +1,156 @@
+"""Unit tests: the precomputed routing table (paper Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import IVQPOptimizer
+from repro.core.routing import PlanShape, PrecomputedRouter, RoutingTable
+from repro.core.value import DiscountRates
+from repro.errors import OptimizationError
+from repro.workload.query import DSSQuery
+
+
+def build_table(fig4_world, horizon=40.0) -> RoutingTable:
+    catalog, provider, _query, rates = fig4_world
+    return RoutingTable(catalog, provider, rates, horizon=horizon)
+
+
+class TestRegistration:
+    def test_register_counts_intervals(self, fig4_world):
+        _catalog, _provider, query, _rates = fig4_world
+        table = build_table(fig4_world)
+        intervals = table.register(query)
+        assert intervals > 4  # one per sync completion within the horizon
+        assert table.registered == 1
+
+    def test_register_all(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        other = DSSQuery(query_id=2, name="two", tables=("T1", "T2"))
+        table = build_table(fig4_world)
+        total = table.register_all([query, other])
+        assert table.registered == 2
+        assert total > 8
+
+    def test_horizon_must_exceed_start(self, fig4_world):
+        catalog, provider, _query, rates = fig4_world
+        with pytest.raises(OptimizationError):
+            RoutingTable(catalog, provider, rates, horizon=5.0, start=5.0)
+
+    def test_unknown_table_rejected_at_registration(self, fig4_world):
+        table = build_table(fig4_world)
+        bad = DSSQuery(query_id=9, name="bad", tables=("NOPE",))
+        with pytest.raises(Exception):
+            table.register(bad)
+
+
+class TestRoutingEquivalence:
+    def test_matches_live_optimizer_at_interval_starts(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        table = build_table(fig4_world)
+        table.register(query)
+        optimizer = IVQPOptimizer(catalog, provider, rates)
+        for submit in (11.0, 12.5, 13.0, 14.0, 16.0, 20.0, 22.0):
+            routed = table.route(query, submit)
+            live = optimizer.choose_plan(query, submit)
+            assert routed.information_value == pytest.approx(
+                live.information_value, rel=1e-9
+            ), submit
+
+    def test_near_optimal_inside_intervals(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        table = build_table(fig4_world)
+        table.register(query)
+        optimizer = IVQPOptimizer(catalog, provider, rates)
+        for submit in (11.3, 12.9, 14.7, 17.2, 19.9):
+            routed = table.route(query, submit)
+            live = optimizer.choose_plan(query, submit)
+            assert routed.information_value >= 0.9 * live.information_value
+
+    def test_routed_plans_are_valid(self, fig4_world):
+        _catalog, _provider, query, _rates = fig4_world
+        table = build_table(fig4_world)
+        table.register(query)
+        plan = table.route(query, 15.2)
+        assert plan.submitted_at == 15.2
+        assert plan.start_time >= 15.2
+        assert {v.table for v in plan.versions} == set(query.tables)
+
+
+class TestFallbacks:
+    def test_unregistered_query_falls_back_to_live_search(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        table = build_table(fig4_world)
+        plan = table.route(query, 11.0)
+        live = IVQPOptimizer(catalog, provider, rates).choose_plan(query, 11.0)
+        assert plan.information_value == pytest.approx(live.information_value)
+        assert table.stats.fallbacks == 1
+        assert table.stats.hit_rate == 0.0
+
+    def test_submission_past_horizon_falls_back(self, fig4_world):
+        _catalog, _provider, query, _rates = fig4_world
+        table = build_table(fig4_world, horizon=30.0)
+        table.register(query)
+        table.route(query, 50.0)
+        assert table.stats.fallbacks == 1
+
+    def test_hit_rate_accounting(self, fig4_world):
+        _catalog, _provider, query, _rates = fig4_world
+        table = build_table(fig4_world)
+        table.register(query)
+        table.route(query, 12.0)
+        table.route(query, 13.0)
+        table.route(query, 99.0)  # beyond horizon
+        assert table.stats.lookups == 3
+        assert table.stats.hits == 2
+        assert table.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestPrecomputedRouter:
+    def test_is_a_system_router(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        table = build_table(fig4_world)
+        table.register(query)
+        router = PrecomputedRouter(table)
+        plan = router.choose_plan(query, 12.0)
+        assert plan.query is query
+
+    def test_in_system_stream(self):
+        """End-to-end: a system whose router is the precomputed table."""
+        from repro.federation.system import SystemConfig, TableSpec, build_system
+
+        config = SystemConfig(
+            tables=[
+                TableSpec("a", site=0, row_count=2_000),
+                TableSpec("b", site=1, row_count=3_000),
+            ],
+            replicated=["a", "b"],
+            sync_mode="periodic",
+            sync_mean_interval=5.0,
+            rates=DiscountRates(0.02, 0.02),
+            seed=6,
+        )
+        queries = [
+            DSSQuery(query_id=i + 1, name=f"q{i}", tables=("a", "b"))
+            for i in range(4)
+        ]
+
+        def factory(catalog, cost_model, rates):
+            table = RoutingTable(catalog, cost_model, rates, horizon=200.0)
+            table.register_all(queries)
+            return PrecomputedRouter(table)
+
+        system = build_system(config, factory)
+        for index, query in enumerate(queries):
+            system.submit(query, at=10.0 * (index + 1))
+        system.run()
+        assert len(system.outcomes) == 4
+        assert all(o.information_value > 0 for o in system.outcomes)
+
+
+class TestPlanShape:
+    def test_shape_is_hashable_value_object(self):
+        a = PlanShape(frozenset({"x"}), 1)
+        b = PlanShape(frozenset({"x"}), 1)
+        assert a == b
+        assert hash(a) == hash(b)

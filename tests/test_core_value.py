@@ -1,0 +1,154 @@
+"""Unit and property tests: the information value model (paper Section 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.value import (
+    DiscountRates,
+    discount_factor,
+    information_value,
+    max_tolerable_latency,
+)
+from repro.errors import ConfigError
+
+
+class TestDiscountRates:
+    def test_valid_rates(self):
+        rates = DiscountRates(0.01, 0.05)
+        assert rates.computational == 0.01
+        assert rates.synchronization == 0.05
+
+    def test_symmetric_helper(self):
+        rates = DiscountRates.symmetric(0.1)
+        assert rates.computational == rates.synchronization == 0.1
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ConfigError):
+            DiscountRates(bad, 0.01)
+        with pytest.raises(ConfigError):
+            DiscountRates(0.01, bad)
+
+
+class TestDiscountFactor:
+    def test_zero_rate_never_discounts(self):
+        assert discount_factor(0.0, 1000.0) == 1.0
+
+    def test_zero_latency_never_discounts(self):
+        assert discount_factor(0.5, 0.0) == 1.0
+
+    def test_matches_formula(self):
+        assert discount_factor(0.1, 10.0) == pytest.approx(0.9**10)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            discount_factor(0.1, -1.0)
+
+
+class TestInformationValue:
+    def test_paper_fig4_scatter_value(self):
+        """The worked example: BV x 0.9^10 x 0.9^10."""
+        rates = DiscountRates.symmetric(0.1)
+        value = information_value(1.0, 10.0, 10.0, rates)
+        assert value == pytest.approx(0.9**20)
+
+    def test_full_value_at_zero_latency(self):
+        rates = DiscountRates(0.05, 0.05)
+        assert information_value(7.0, 0.0, 0.0, rates) == 7.0
+
+    def test_scales_with_business_value(self):
+        rates = DiscountRates(0.01, 0.01)
+        one = information_value(1.0, 5.0, 5.0, rates)
+        ten = information_value(10.0, 5.0, 5.0, rates)
+        assert ten == pytest.approx(10 * one)
+
+    def test_negative_business_value_rejected(self):
+        with pytest.raises(ConfigError):
+            information_value(-1.0, 1.0, 1.0, DiscountRates(0.01, 0.01))
+
+    def test_report_freshness_tradeoff_from_introduction(self):
+        """The intro's example: 5min/8min-old beats 2min/12min-old data
+        when synchronization discounts dominate."""
+        rates = DiscountRates(computational=0.01, synchronization=0.1)
+        report_1 = information_value(1.0, 5.0, 8.0, rates)
+        report_2 = information_value(1.0, 2.0, 12.0, rates)
+        assert report_1 > report_2
+        # ... and flips when computational latency is what hurts.
+        flipped = DiscountRates(computational=0.1, synchronization=0.01)
+        assert information_value(1.0, 2.0, 12.0, flipped) > information_value(
+            1.0, 5.0, 8.0, flipped
+        )
+
+
+class TestMaxTolerableLatency:
+    def test_paper_bound_is_twenty(self):
+        """Fig 4: incumbent 0.9^20 at rate 0.1 -> CL bound of 20 minutes."""
+        incumbent = 0.9**20
+        bound = max_tolerable_latency(1.0, incumbent, 0.1)
+        assert bound == pytest.approx(20.0)
+
+    def test_zero_rate_gives_infinite_bound(self):
+        assert max_tolerable_latency(1.0, 0.5, 0.0) == math.inf
+
+    def test_nonpositive_incumbent_gives_infinite_bound(self):
+        assert max_tolerable_latency(1.0, 0.0, 0.1) == math.inf
+
+    def test_incumbent_at_full_value_gives_zero(self):
+        assert max_tolerable_latency(1.0, 1.0, 0.1) == 0.0
+
+    def test_requires_positive_business_value(self):
+        with pytest.raises(ConfigError):
+            max_tolerable_latency(0.0, 0.5, 0.1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bv=st.floats(min_value=0.01, max_value=100.0),
+    cl=st.floats(min_value=0.0, max_value=500.0),
+    sl=st.floats(min_value=0.0, max_value=500.0),
+    rate_cl=st.floats(min_value=0.0, max_value=0.5),
+    rate_sl=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_iv_bounded_by_business_value_and_nonnegative(bv, cl, sl, rate_cl, rate_sl):
+    rates = DiscountRates(rate_cl, rate_sl)
+    value = information_value(bv, cl, sl, rates)
+    assert 0.0 <= value <= bv + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bv=st.floats(min_value=0.01, max_value=100.0),
+    cl=st.floats(min_value=0.0, max_value=100.0),
+    extra=st.floats(min_value=0.01, max_value=100.0),
+    sl=st.floats(min_value=0.0, max_value=100.0),
+    rate=st.floats(min_value=0.001, max_value=0.5),
+)
+def test_iv_monotone_decreasing_in_latency(bv, cl, extra, sl, rate):
+    rates = DiscountRates(rate, rate)
+    assert information_value(bv, cl + extra, sl, rates) < information_value(
+        bv, cl, sl, rates
+    )
+    assert information_value(bv, cl, sl + extra, rates) < information_value(
+        bv, cl, sl, rates
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bv=st.floats(min_value=0.01, max_value=50.0),
+    incumbent_fraction=st.floats(min_value=0.01, max_value=0.99),
+    rate=st.floats(min_value=0.001, max_value=0.5),
+)
+def test_bound_is_tight(bv, incumbent_fraction, rate):
+    """At exactly the bound the plan matches the incumbent; beyond, never."""
+    incumbent = bv * incumbent_fraction
+    bound = max_tolerable_latency(bv, incumbent, rate)
+    at_bound = information_value(bv, bound, 0.0, DiscountRates(rate, 0.0))
+    assert at_bound == pytest.approx(incumbent, rel=1e-6)
+    beyond = information_value(bv, bound + 1.0, 0.0, DiscountRates(rate, 0.0))
+    assert beyond < incumbent

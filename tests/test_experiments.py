@@ -1,0 +1,188 @@
+"""Integration tests: experiment configs and reduced-size figure runs.
+
+These run the same code paths as the benchmark harness at very small scale,
+asserting the *shapes* the paper reports rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.value import DiscountRates
+from repro.errors import ConfigError
+from repro.experiments.config import (
+    FQ_FS_RATIOS,
+    LAMBDA_COMBOS,
+    SyntheticSetup,
+    TpchSetup,
+    sync_interval_for_ratio,
+)
+from repro.experiments.fig4_walkthrough import Fig4Config, run_fig4
+from repro.experiments.fig6 import select_mid_cost_queries
+from repro.experiments.runner import APPROACHES, run_single_queries, run_stream
+
+
+@pytest.fixture(scope="module")
+def setup() -> TpchSetup:
+    return TpchSetup(scale=0.0005, seed=7)
+
+
+class TestConfig:
+    def test_ratio_table_matches_paper(self):
+        assert set(FQ_FS_RATIOS) == {"1:0.1", "1:1", "1:10", "1:20"}
+        assert len(LAMBDA_COMBOS) == 4
+
+    def test_sync_interval_inverse_of_ratio(self):
+        assert sync_interval_for_ratio(10.0) == pytest.approx(1.0)
+        assert sync_interval_for_ratio(0.1) == pytest.approx(100.0)
+        with pytest.raises(ConfigError):
+            sync_interval_for_ratio(0.0)
+
+    def test_tpch_setup_has_12_tables(self, setup):
+        assert len(setup.table_specs()) == 12
+
+    def test_tpch_replication_plans(self, setup):
+        ivqp = setup.system_config(
+            "ivqp", DiscountRates(0.01, 0.01), 1.0
+        )
+        partial = setup.system_config(
+            "ivqp-partial", DiscountRates(0.01, 0.01), 1.0
+        )
+        fed = setup.system_config(
+            "federation", DiscountRates(0.01, 0.01), 1.0
+        )
+        wh = setup.system_config(
+            "warehouse", DiscountRates(0.01, 0.01), 1.0
+        )
+        assert len(ivqp.replicated) == 12
+        assert len(partial.replicated) == 5
+        assert fed.replicated == []
+        assert len(wh.replicated) == 12
+        with pytest.raises(ConfigError):
+            setup.system_config("bogus", DiscountRates(0.01, 0.01), 1.0)
+
+    def test_synthetic_setup_placements(self):
+        skewed = SyntheticSetup(
+            num_tables=24, num_sites=4, placement="skewed", seed=2
+        )
+        placement = skewed.placement_map()
+        from collections import Counter
+
+        counts = Counter(placement.values())
+        assert counts[0] >= counts.get(1, 0) >= counts.get(2, 0)
+
+        uniform = SyntheticSetup(
+            num_tables=24, num_sites=4, placement="uniform", seed=2
+        )
+        assert set(uniform.placement_map().values()) <= {0, 1, 2, 3}
+
+    def test_mid_cost_query_selection(self, setup):
+        selected = select_mid_cost_queries(setup, count=15)
+        assert len(selected) == 15
+        rows = setup.instance.row_counts
+
+        def footprint(query):
+            return sum(rows[name] for name in query.tables)
+
+        all_queries = setup.queries()
+        cheapest = min(all_queries, key=footprint)
+        priciest = max(all_queries, key=footprint)
+        names = {query.name for query in selected}
+        assert cheapest.name not in names
+        assert priciest.name not in names
+
+
+class TestFig4:
+    def test_walkthrough_reproduces_paper_numbers(self):
+        outcome = run_fig4(Fig4Config())
+        assert outcome.scatter_iv == pytest.approx(0.9**20)
+        assert outcome.initial_bound == pytest.approx(31.0)
+        assert outcome.chosen.information_value == pytest.approx(
+            outcome.oracle.information_value
+        )
+        assert outcome.chosen.information_value > outcome.scatter_iv
+        assert outcome.diagnostics.bound_tightenings >= 1
+
+
+class TestRunners:
+    def test_unknown_approach_rejected(self, setup):
+        config = setup.system_config(
+            "federation", DiscountRates(0.01, 0.01), 1.0
+        )
+        with pytest.raises(ConfigError):
+            run_stream(config, "bogus", setup.queries()[:2], 10.0)
+
+    def test_run_stream_aggregates(self, setup):
+        config = setup.system_config(
+            "federation", DiscountRates(0.01, 0.01), 1.0
+        )
+        result = run_stream(
+            config, "federation", setup.queries()[:4],
+            mean_interarrival=30.0, rounds=2,
+        )
+        assert len(result.outcomes) == 8
+        assert 0.0 < result.mean_iv <= 1.0
+        assert set(result.per_query_cl) == {q.name for q in setup.queries()[:4]}
+
+    def test_run_single_queries_isolates_each(self, setup):
+        config = setup.system_config(
+            "warehouse", DiscountRates(0.01, 0.01), 1.0
+        )
+        queries = setup.queries()[:3]
+        result = run_single_queries(config, "warehouse", queries)
+        assert len(result.outcomes) == 3
+        assert all(outcome.queue_wait == 0.0 for outcome in result.outcomes)
+
+    def test_approach_registry_covers_all(self):
+        assert set(APPROACHES) == {
+            "ivqp", "ivqp-partial", "federation", "warehouse"
+        }
+
+
+class TestPaperShapesSmall:
+    """Reduced-size versions of the headline comparisons."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self) -> TpchSetup:
+        return TpchSetup(scale=0.0005, seed=7)
+
+    def run_three(self, tiny, ratio_multiplier, rates):
+        interval = sync_interval_for_ratio(ratio_multiplier)
+        results = {}
+        for approach in ("ivqp", "federation", "warehouse"):
+            config = tiny.system_config(approach, rates, interval)
+            results[approach] = run_stream(
+                config, approach, tiny.queries(),
+                mean_interarrival=10.0, rounds=1,
+            )
+        return results
+
+    def test_ivqp_dominates_both_baselines_at_1_10(self, tiny):
+        results = self.run_three(tiny, 10.0, DiscountRates(0.05, 0.05))
+        assert results["ivqp"].mean_iv >= results["federation"].mean_iv - 1e-6
+        assert results["ivqp"].mean_iv >= results["warehouse"].mean_iv - 1e-6
+
+    def test_warehouse_improves_with_sync_rate(self, tiny):
+        rates = DiscountRates(0.01, 0.01)
+        slow = self.run_three(tiny, 0.1, rates)["warehouse"].mean_iv
+        fast = self.run_three(tiny, 20.0, rates)["warehouse"].mean_iv
+        assert fast > slow
+
+    def test_warehouse_has_lowest_cl_federation_highest(self, tiny):
+        results = self.run_three(tiny, 10.0, DiscountRates(0.01, 0.01))
+        assert results["warehouse"].mean_cl < results["ivqp"].mean_cl + 1e-9
+        assert results["ivqp"].mean_cl <= results["federation"].mean_cl + 1e-9
+
+    def test_ivqp_sl_at_most_warehouse_sl_per_query(self, tiny):
+        rates = DiscountRates(0.01, 0.01)
+        interval = sync_interval_for_ratio(10.0)
+        queries = select_mid_cost_queries(tiny, count=8)
+        ivqp = run_single_queries(
+            tiny.system_config("ivqp", rates, interval), "ivqp", queries
+        ).per_query_sl
+        warehouse = run_single_queries(
+            tiny.system_config("warehouse", rates, interval), "warehouse",
+            queries,
+        ).per_query_sl
+        for name in ivqp:
+            assert ivqp[name] <= warehouse[name] + 1e-6

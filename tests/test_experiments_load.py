@@ -1,0 +1,49 @@
+"""Unit tests: the EXT2 load-sweep experiment (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import TpchSetup
+from repro.experiments.load import LoadConfig, run_load_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = LoadConfig(
+        setup=TpchSetup(scale=0.0005, seed=7),
+        interarrival_means=(1.5, 12.0),
+        approaches=("ivqp", "warehouse"),
+        rounds=1,
+    )
+    return config, run_load_sweep(config)
+
+
+class TestLoadSweep:
+    def test_row_grid_complete(self, sweep):
+        config, table = sweep
+        assert len(table.rows) == (
+            len(config.interarrival_means) * len(config.approaches)
+        )
+
+    def test_values_are_sane(self, sweep):
+        _config, table = sweep
+        for row in table.rows:
+            _mean, _approach, iv, cl, sl = row
+            assert 0.0 <= iv <= 1.0
+            assert cl > 0.0
+            assert sl >= 0.0
+
+    def test_congestion_raises_ivqp_cl(self, sweep):
+        _config, table = sweep
+        cl = {
+            row[0]: row[3] for row in table.rows if row[1] == "ivqp"
+        }
+        assert cl[1.5] > cl[12.0]
+
+    def test_warehouse_cl_is_load_insensitive_here(self, sweep):
+        _config, table = sweep
+        cl = {
+            row[0]: row[3] for row in table.rows if row[1] == "warehouse"
+        }
+        assert cl[1.5] < 3.0 * cl[12.0]

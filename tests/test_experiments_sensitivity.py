@@ -1,0 +1,68 @@
+"""Unit tests: the EXT1 sensitivity experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityConfig,
+    classify_plan,
+    run_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    config = SensitivityConfig(rates=(0.01, 0.2))
+    return config, run_sensitivity(config)
+
+
+class TestClassifyPlan:
+    def test_all_four_kinds(self, fig4_world):
+        from repro.core.enumeration import make_plan
+
+        catalog, provider, query, rates = fig4_world
+        immediate_replica = make_plan(
+            query, catalog, provider, rates, 11.0, 11.0, frozenset()
+        )
+        assert classify_plan(immediate_replica) == "all-replica"
+        all_remote = make_plan(
+            query, catalog, provider, rates, 11.0, 11.0,
+            frozenset(query.tables),
+        )
+        assert classify_plan(all_remote) == "all-remote"
+        mixed = make_plan(
+            query, catalog, provider, rates, 11.0, 11.0, frozenset({"T1"})
+        )
+        assert classify_plan(mixed) == "mixed"
+        delayed = make_plan(
+            query, catalog, provider, rates, 11.0, 13.0, frozenset()
+        )
+        assert classify_plan(delayed) == "delayed"
+
+
+class TestRunSensitivity:
+    def test_grid_is_complete(self, small_table):
+        config, table = small_table
+        expected = len(config.scenarios) * len(config.rates) ** 2
+        assert len(table.rows) == expected
+
+    def test_iv_is_valid_everywhere(self, small_table):
+        _config, table = small_table
+        for row in table.rows:
+            assert 0.0 <= row[4] <= 1.0
+
+    def test_corner_decisions_flip(self, small_table):
+        _config, table = small_table
+        decisions = {
+            (row[0], row[1], row[2]): row[3] for row in table.rows
+        }
+        # Freshness-hungry corner vs latency-hungry corner differ in both
+        # scenarios — the paper's central qualitative claim.
+        assert decisions[("fig1", 0.01, 0.2)] != decisions[("fig1", 0.2, 0.01)]
+        assert decisions[("fig2", 0.01, 0.2)] != decisions[("fig2", 0.2, 0.01)]
+
+    def test_iv_decreases_with_either_rate(self, small_table):
+        _config, table = small_table
+        by_key = {(row[0], row[1], row[2]): row[4] for row in table.rows}
+        assert by_key[("fig1", 0.01, 0.01)] > by_key[("fig1", 0.2, 0.2)]

@@ -1,0 +1,48 @@
+"""Tests: the reproduction validator's report machinery.
+
+The full `validate_all()` run is exercised by ``python -m repro check`` and
+the benchmark suite; here we test the claim/report plumbing and one cheap
+section end-to-end.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.validate import Claim, _fig4_claims, render_report
+
+
+class TestClaimsAndReport:
+    def test_fig4_section_passes(self):
+        claims = _fig4_claims()
+        assert len(claims) == 3
+        assert all(claim.passed for claim in claims)
+
+    def test_report_renders_pass_and_fail(self):
+        claims = [
+            Claim("figX", "holds", True, "detail-a"),
+            Claim("figY", "broken", False, "detail-b"),
+        ]
+        report = render_report(claims)
+        assert "PASS" in report
+        assert "FAIL" in report
+        assert "1/2 claims hold" in report
+        assert "1 FAILED" in report
+
+    def test_report_all_passing_footer(self):
+        report = render_report([Claim("f", "ok", True)])
+        assert report.endswith("1/1 claims hold")
+        assert "FAILED" not in report
+
+    def test_cli_check_exit_code(self, monkeypatch, capsys):
+        """`repro check` exits 0 when all claims pass, 1 otherwise."""
+        from repro.experiments import cli, validate
+
+        monkeypatch.setattr(
+            validate, "_SECTIONS", [lambda: [Claim("f", "ok", True)]]
+        )
+        assert cli.main(["check"]) == 0
+        capsys.readouterr()
+
+        monkeypatch.setattr(
+            validate, "_SECTIONS", [lambda: [Claim("f", "no", False)]]
+        )
+        assert cli.main(["check"]) == 1

@@ -1,0 +1,201 @@
+"""Unit and property tests: catalog, sync schedules, replicas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError
+from repro.federation.catalog import (
+    Catalog,
+    FixedSyncSchedule,
+    Replica,
+    SharedSyncFeed,
+    StreamSyncSchedule,
+    TableDef,
+)
+from repro.sim.rng import RandomSource
+from repro.sim.streams import DeterministicStream, ExponentialStream
+
+
+class TestTableDef:
+    def test_size_bytes(self):
+        table = TableDef("t", site=0, row_count=100, row_bytes=32)
+        assert table.size_bytes == 3200
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", site=0, row_count=-1)
+        with pytest.raises(CatalogError):
+            TableDef("t", site=0, row_count=1, row_bytes=0)
+        with pytest.raises(CatalogError):
+            TableDef("t", site=-1, row_count=1)
+
+
+class TestFixedSyncSchedule:
+    def test_lookups(self):
+        schedule = FixedSyncSchedule([2.0, 5.0, 9.0])
+        assert schedule.last_completion_at_or_before(1.0) is None
+        assert schedule.last_completion_at_or_before(5.0) == 5.0
+        assert schedule.last_completion_at_or_before(8.9) == 5.0
+        assert schedule.next_completion_after(5.0) == 9.0
+        assert schedule.next_completion_after(0.0) == 2.0
+
+    def test_tail_extension_repeats_last_gap(self):
+        schedule = FixedSyncSchedule([2.0, 5.0])
+        assert schedule.next_completion_after(5.0) == 8.0
+        assert schedule.next_completion_after(8.0) == 11.0
+
+    def test_explicit_tail_period(self):
+        schedule = FixedSyncSchedule([2.0], tail_period=10.0)
+        assert schedule.next_completion_after(2.0) == 12.0
+
+    def test_completions_between(self):
+        schedule = FixedSyncSchedule([2.0, 5.0, 9.0])
+        assert schedule.completions_between(2.0, 9.0) == [5.0, 9.0]
+
+    def test_bad_interval_raises(self):
+        schedule = FixedSyncSchedule([1.0])
+        with pytest.raises(CatalogError):
+            schedule.completions_between(5.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            FixedSyncSchedule([])
+        with pytest.raises(CatalogError):
+            FixedSyncSchedule([-1.0])
+        with pytest.raises(CatalogError):
+            FixedSyncSchedule([1.0], tail_period=0.0)
+
+    def test_infinite_horizon_rejected(self):
+        schedule = FixedSyncSchedule([1.0])
+        with pytest.raises(CatalogError):
+            schedule.next_completion_after(float("inf"))
+
+
+class TestStreamSyncSchedule:
+    def test_periodic_completions(self):
+        schedule = StreamSyncSchedule.periodic(5.0, offset=2.0)
+        assert schedule.completions_between(0.0, 17.0) == [2.0, 7.0, 12.0, 17.0]
+
+    def test_periodic_default_offset_is_period(self):
+        schedule = StreamSyncSchedule.periodic(5.0)
+        assert schedule.next_completion_after(0.0) == 5.0
+
+    def test_exponential_gaps_are_monotone(self):
+        stream = ExponentialStream(2.0, RandomSource(3, "sync"))
+        schedule = StreamSyncSchedule(stream)
+        times = schedule.completions_between(0.0, 50.0)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_lazy_extension_is_consistent(self):
+        stream = ExponentialStream(2.0, RandomSource(3, "sync"))
+        schedule = StreamSyncSchedule(stream)
+        early = schedule.next_completion_after(5.0)
+        # Query far ahead, then re-ask the early question: same answer.
+        schedule.completions_between(0.0, 200.0)
+        assert schedule.next_completion_after(5.0) == early
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(CatalogError):
+            StreamSyncSchedule.periodic(0.0)
+
+
+class TestSharedSyncFeed:
+    def test_round_robin_partition(self):
+        feed = SharedSyncFeed(DeterministicStream(1.0))
+        a = feed.member()
+        b = feed.member()
+        a_times = a.completions_between(0.0, 10.0)
+        b_times = b.completions_between(0.0, 10.0)
+        assert a_times == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert b_times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_member_rate_is_budget_over_members(self):
+        feed = SharedSyncFeed(
+            ExponentialStream(1.0, RandomSource(5, "feed"))
+        )
+        members = [feed.member() for _ in range(4)]
+        counts = [len(m.completions_between(0.0, 400.0)) for m in members]
+        for count in counts:
+            assert count == pytest.approx(100, rel=0.35)
+
+    def test_no_members_after_start(self):
+        feed = SharedSyncFeed(DeterministicStream(1.0))
+        member = feed.member()
+        member.next_completion_after(0.0)
+        with pytest.raises(CatalogError):
+            feed.member()
+
+
+class TestReplicaAndCatalog:
+    def make_catalog(self) -> Catalog:
+        catalog = Catalog()
+        catalog.add_table(TableDef("a", site=0, row_count=10))
+        catalog.add_table(TableDef("b", site=1, row_count=20))
+        catalog.add_replica("a", FixedSyncSchedule([3.0, 8.0]))
+        return catalog
+
+    def test_replica_freshness_and_staleness(self):
+        catalog = self.make_catalog()
+        replica = catalog.replica("a")
+        assert replica.freshness_at(2.0) == 0.0  # initial timestamp
+        assert replica.freshness_at(5.0) == 3.0
+        assert replica.staleness_at(5.0) == 2.0
+        assert replica.next_sync_after(3.0) == 8.0
+
+    def test_duplicate_registration_rejected(self):
+        catalog = self.make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.add_table(TableDef("a", site=0, row_count=10))
+        with pytest.raises(CatalogError):
+            catalog.add_replica("a", FixedSyncSchedule([1.0]))
+
+    def test_replica_requires_existing_table(self):
+        catalog = self.make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.add_replica("zz", FixedSyncSchedule([1.0]))
+
+    def test_lookups(self):
+        catalog = self.make_catalog()
+        assert catalog.table("b").site == 1
+        assert catalog.replica("b") is None
+        assert catalog.has_replica("a")
+        assert catalog.table_names == ["a", "b"]
+        assert catalog.replicated_tables == ["a"]
+        assert [r.name for r in catalog.replicas] == ["a"]
+        with pytest.raises(CatalogError):
+            catalog.table("zz")
+
+    def test_sites_of_and_validation(self):
+        catalog = self.make_catalog()
+        assert catalog.sites_of(["a", "b"]) == {0, 1}
+        with pytest.raises(CatalogError):
+            catalog.validate_query_tables(["a", "nope"])
+
+    def test_replica_initial_timestamp(self):
+        table = TableDef("t", site=0, row_count=1)
+        replica = Replica(table, FixedSyncSchedule([100.0]), initial_timestamp=7.0)
+        assert replica.freshness_at(50.0) == 7.0
+        with pytest.raises(CatalogError):
+            Replica(table, FixedSyncSchedule([1.0]), initial_timestamp=-1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20
+    ),
+    probe=st.floats(min_value=0.0, max_value=120.0),
+)
+def test_schedule_lookup_invariants(times, probe):
+    """last <= probe < next, for any schedule and probe point."""
+    schedule = FixedSyncSchedule(sorted(times), tail_period=5.0)
+    last = schedule.last_completion_at_or_before(probe)
+    nxt = schedule.next_completion_after(probe)
+    if last is not None:
+        assert last <= probe
+    assert nxt > probe
+    between = schedule.completions_between(probe, nxt)
+    assert between == [nxt]

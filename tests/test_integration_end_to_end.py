@@ -1,0 +1,188 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines — data generation → catalog → cost model →
+optimizer → simulation → outcome accounting — and check the paper's core
+claims at small scale (the benchmark suite re-checks them at figure scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import federation_router, ivqp_router, warehouse_router
+from repro.core.value import DiscountRates, information_value
+from repro.experiments.config import SyntheticSetup, TpchSetup
+from repro.experiments.fig9 import Fig9Config, build_mqo_scheduler
+from repro.experiments.runner import run_stream
+from repro.federation.system import build_system
+from repro.mqo.ga import GAConfig
+from repro.workload.generator import overlapping_workload, random_queries
+
+
+@pytest.fixture(scope="module")
+def tiny_setup() -> TpchSetup:
+    return TpchSetup(scale=0.0005, seed=7)
+
+
+class TestRealizedVsEstimated:
+    """The executor must realize what the plan estimated (no contention)."""
+
+    def test_uncontended_outcome_matches_plan_estimate(self, tiny_setup):
+        config = tiny_setup.system_config(
+            "ivqp", DiscountRates(0.02, 0.02), sync_mean_interval=1.0
+        )
+        system = build_system(config, ivqp_router)
+        query = tiny_setup.queries()[2]  # Q3
+        system.submit(query, at=25.0)
+        system.run()
+        outcome = system.outcomes[0]
+        plan = outcome.plan
+        assert outcome.computational_latency == pytest.approx(
+            plan.computational_latency, abs=1e-6
+        )
+        # Realized SL can only be <= estimated (syncs during execution
+        # can make data fresher, never staler).
+        assert (
+            outcome.synchronization_latency
+            <= plan.synchronization_latency + 1e-6
+        )
+        assert outcome.information_value >= plan.information_value - 1e-6
+
+    def test_realized_iv_formula_consistency(self, tiny_setup):
+        config = tiny_setup.system_config(
+            "federation", DiscountRates(0.03, 0.04), sync_mean_interval=1.0
+        )
+        system = build_system(config, federation_router)
+        query = tiny_setup.queries()[0]
+        system.submit(query, at=10.0)
+        system.run()
+        outcome = system.outcomes[0]
+        assert outcome.information_value == pytest.approx(
+            information_value(
+                query.business_value,
+                outcome.computational_latency,
+                outcome.synchronization_latency,
+                outcome.plan.rates,
+            )
+        )
+
+
+class TestHeadToHeadRouting:
+    def test_ivqp_stream_beats_baselines(self, tiny_setup):
+        rates = DiscountRates(0.05, 0.05)
+        results = {}
+        for approach, router in (
+            ("ivqp", ivqp_router),
+            ("federation", federation_router),
+            ("warehouse", warehouse_router),
+        ):
+            config = tiny_setup.system_config(
+                approach, rates, sync_mean_interval=1.0
+            )
+            results[approach] = run_stream(
+                config, approach, tiny_setup.queries(),
+                mean_interarrival=10.0,
+            ).mean_iv
+        assert results["ivqp"] >= results["federation"] - 1e-6
+        assert results["ivqp"] >= results["warehouse"] - 1e-6
+
+    def test_federation_insensitive_to_sync_rate(self, tiny_setup):
+        rates = DiscountRates(0.01, 0.01)
+        values = []
+        for interval in (100.0, 0.5):
+            config = tiny_setup.system_config(
+                "federation", rates, sync_mean_interval=interval
+            )
+            values.append(
+                run_stream(
+                    config, "federation", tiny_setup.queries()[:8],
+                    mean_interarrival=10.0,
+                ).mean_iv
+            )
+        assert values[0] == pytest.approx(values[1], rel=1e-6)
+
+
+class TestMqoPipeline:
+    def test_fig9_stack_mqo_never_loses(self):
+        config = Fig9Config(
+            num_tables=30, replicated_count=15,
+            ga=GAConfig(generations=10),
+        )
+        scheduler, setup = build_mqo_scheduler(config)
+        queries = random_queries(setup.instance, count=8, seed=5)
+        workload = overlapping_workload(queries, 0.5, seed=6, burst_size=4)
+        mqo = scheduler.schedule(workload)
+        fifo = scheduler.fifo(workload)
+        assert (
+            mqo.total_information_value >= fifo.total_information_value - 1e-9
+        )
+
+    def test_ga_seeded_with_arrival_order_never_below_it(self):
+        config = Fig9Config(
+            num_tables=30, replicated_count=15,
+            ga=GAConfig(generations=5),
+        )
+        scheduler, setup = build_mqo_scheduler(config)
+        queries = random_queries(setup.instance, count=6, seed=9)
+        workload = overlapping_workload(queries, 1.0, seed=2, burst_size=6)
+        evaluator = scheduler._evaluator(workload)
+        arrival_order = [
+            query.query_id for query in workload.sorted_by_arrival()
+        ]
+        arrival_total = evaluator.evaluate(
+            arrival_order
+        ).total_information_value
+        decision = scheduler.schedule(workload)
+        assert decision.total_information_value >= arrival_total - 1e-9
+
+
+class TestSyntheticPipeline:
+    def test_synthetic_stream_all_approaches(self):
+        setup = SyntheticSetup(
+            num_tables=30, num_sites=4, replicated_count=15,
+            placement="skewed", seed=4,
+        )
+        queries = random_queries(setup.instance, count=20, seed=8)
+        rates = DiscountRates(0.05, 0.05)
+        for approach in ("ivqp", "federation", "warehouse"):
+            config = setup.system_config(
+                approach, rates, sync_mean_interval=0.5
+            )
+            result = run_stream(
+                config, approach, queries, mean_interarrival=10.0
+            )
+            assert len(result.outcomes) == 20
+            assert 0.0 <= result.mean_iv <= 1.0
+
+    def test_business_value_weighting_carries_through(self):
+        setup = SyntheticSetup(
+            num_tables=10, num_sites=2, replicated_count=5, seed=4
+        )
+        queries = random_queries(
+            setup.instance, count=4, seed=8, business_value=5.0
+        )
+        config = setup.system_config(
+            "federation", DiscountRates(0.01, 0.01), sync_mean_interval=1.0
+        )
+        result = run_stream(config, "federation", queries, 50.0)
+        for outcome in result.outcomes:
+            assert outcome.information_value <= 5.0
+            assert outcome.information_value > 1.0  # BV scaling visible
+
+
+class TestStressScale:
+    def test_hundreds_of_queries_drain_cleanly(self):
+        setup = SyntheticSetup(
+            num_tables=40, num_sites=5, replicated_count=20, seed=13
+        )
+        queries = random_queries(setup.instance, count=120, seed=14)
+        config = setup.system_config(
+            "ivqp", DiscountRates(0.05, 0.05), sync_mean_interval=0.5
+        )
+        result = run_stream(
+            config, "ivqp", queries, mean_interarrival=5.0, rounds=2
+        )
+        assert len(result.outcomes) == 240
+        # Completion order is causally consistent.
+        completion_times = [o.completed_at for o in result.outcomes]
+        assert completion_times == sorted(completion_times)

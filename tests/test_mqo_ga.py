@@ -1,0 +1,155 @@
+"""Unit and property tests: chromosomes and the genetic algorithm."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.mqo.chromosome import (
+    order_crossover,
+    random_permutation,
+    swap_mutation,
+    validate_permutation,
+)
+from repro.mqo.ga import GAConfig, GeneticAlgorithm
+from repro.sim.rng import RandomSource
+
+
+class TestChromosome:
+    def test_validate_rejects_duplicates(self):
+        with pytest.raises(OptimizationError):
+            validate_permutation([1, 2, 2])
+
+    def test_random_permutation_preserves_genes(self, rng):
+        genes = list(range(10))
+        shuffled = random_permutation(genes, rng)
+        assert sorted(shuffled) == genes
+
+    def test_crossover_produces_valid_permutation(self, rng):
+        parent_a = list(range(8))
+        parent_b = list(reversed(range(8)))
+        child = order_crossover(parent_a, parent_b, rng)
+        assert sorted(child) == parent_a
+
+    def test_crossover_requires_same_genes(self, rng):
+        with pytest.raises(OptimizationError):
+            order_crossover([1, 2], [1, 3], rng)
+
+    def test_crossover_single_gene(self, rng):
+        assert order_crossover([5], [5], rng) == [5]
+
+    def test_mutation_swaps_exactly_two(self, rng):
+        genes = list(range(10))
+        mutated = swap_mutation(genes, rng)
+        assert sorted(mutated) == genes
+        differences = sum(1 for a, b in zip(genes, mutated) if a != b)
+        assert differences == 2
+
+    def test_mutation_of_single_gene_is_identity(self, rng):
+        assert swap_mutation([3], rng) == [3]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    genes=st.lists(st.integers(), min_size=2, max_size=20, unique=True),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_crossover_always_yields_permutation(genes, seed):
+    rng = RandomSource(seed, "prop")
+    parent_a = random_permutation(genes, rng)
+    parent_b = random_permutation(genes, rng)
+    child = order_crossover(parent_a, parent_b, rng)
+    assert sorted(child) == sorted(genes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    genes=st.lists(st.integers(), min_size=2, max_size=20, unique=True),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_mutation_always_yields_permutation(genes, seed):
+    rng = RandomSource(seed, "prop")
+    mutated = swap_mutation(genes, rng)
+    assert sorted(mutated) == sorted(genes)
+
+
+class TestGAConfig:
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            GAConfig(population_size=1)
+        with pytest.raises(OptimizationError):
+            GAConfig(generations=0)
+        with pytest.raises(OptimizationError):
+            GAConfig(parent_fraction=0.0)
+        with pytest.raises(OptimizationError):
+            GAConfig(mutation_rate=1.5)
+        with pytest.raises(OptimizationError):
+            GAConfig(elitism=32, population_size=32)
+
+    def test_paper_default_is_50_generations(self):
+        assert GAConfig().generations == 50
+
+
+class TestGeneticAlgorithm:
+    def test_finds_identity_on_sortedness_fitness(self):
+        genes = list(range(8))
+
+        def fitness(permutation: list[int]) -> float:
+            return -sum(
+                abs(value - index) for index, value in enumerate(permutation)
+            )
+
+        ga = GeneticAlgorithm(genes, fitness, GAConfig(generations=60), seed=3)
+        result = ga.run()
+        assert result.best == genes
+        assert result.best_fitness == 0.0
+
+    def test_history_is_monotone_nondecreasing(self):
+        genes = list(range(6))
+        ga = GeneticAlgorithm(
+            genes, lambda p: float(p[0]), GAConfig(generations=20), seed=1
+        )
+        result = ga.run()
+        assert all(
+            b >= a for a, b in zip(result.history, result.history[1:])
+        )
+
+    def test_seed_chromosome_floors_the_result(self):
+        genes = list(range(10))
+        optimal = list(range(10))
+
+        def fitness(permutation: list[int]) -> float:
+            return 1.0 if permutation == optimal else 0.0
+
+        ga = GeneticAlgorithm(genes, fitness, GAConfig(generations=2), seed=5)
+        result = ga.run(seed_chromosomes=[optimal])
+        assert result.best_fitness == 1.0
+
+    def test_reproducible_given_seed(self):
+        genes = list(range(7))
+
+        def fitness(permutation: list[int]) -> float:
+            return float(permutation[0] * 3 + permutation[-1])
+
+        a = GeneticAlgorithm(genes, fitness, seed=9).run()
+        b = GeneticAlgorithm(genes, fitness, seed=9).run()
+        assert a.best == b.best
+        assert a.best_fitness == b.best_fitness
+
+    def test_fitness_cache_limits_evaluations(self):
+        genes = [0, 1]  # only two permutations exist
+        calls = []
+
+        def fitness(permutation: list[int]) -> float:
+            calls.append(tuple(permutation))
+            return float(permutation[0])
+
+        GeneticAlgorithm(genes, fitness, GAConfig(generations=10), seed=2).run()
+        assert len(set(calls)) <= 2
+        assert len(calls) <= 2
+
+    def test_requires_genes(self):
+        with pytest.raises(OptimizationError):
+            GeneticAlgorithm([], lambda p: 0.0)

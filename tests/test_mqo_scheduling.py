@@ -1,0 +1,265 @@
+"""Unit tests: conflict detection, workload evaluation and MQO scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aging import AgingPolicy
+from repro.core.value import DiscountRates
+from repro.errors import OptimizationError
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.mqo.conflict import ExecutionRange, conflict_groups, execution_ranges
+from repro.mqo.evaluator import WorkloadEvaluator
+from repro.mqo.ga import GAConfig
+from repro.mqo.scheduler import WorkloadScheduler
+from repro.workload.query import DSSQuery, Workload
+
+
+def build_catalog(num_tables=6, num_sites=3) -> Catalog:
+    catalog = Catalog()
+    for index in range(num_tables):
+        name = f"t{index}"
+        catalog.add_table(
+            TableDef(name, site=index % num_sites, row_count=3_000)
+        )
+        catalog.add_replica(
+            name,
+            FixedSyncSchedule(
+                [1.0 + index * 0.5 + k * 6.0 for k in range(30)],
+                tail_period=6.0,
+            ),
+        )
+    return catalog
+
+
+def build_stack(rates=None, params=None):
+    catalog = build_catalog()
+    cost_model = CostModel(catalog, params=params or CostParameters())
+    rates = rates or DiscountRates.symmetric(0.1)
+    scheduler = WorkloadScheduler(
+        catalog, cost_model, rates, ga_config=GAConfig(generations=15), seed=1
+    )
+    return catalog, cost_model, rates, scheduler
+
+
+def burst_workload(count=4, gap=0.2, tables_per_query=3) -> Workload:
+    workload = Workload()
+    for index in range(count):
+        tables = tuple(f"t{(index + j) % 6}" for j in range(tables_per_query))
+        workload.add(
+            DSSQuery(
+                query_id=index + 1, name=f"q{index + 1}", tables=tables,
+                base_work=8_000.0,
+            ),
+            arrival=1.0 + gap * index,
+        )
+    return workload
+
+
+def spread_workload(count=3, gap=500.0) -> Workload:
+    workload = Workload()
+    for index in range(count):
+        workload.add(
+            DSSQuery(
+                query_id=index + 1, name=f"q{index + 1}",
+                tables=(f"t{index % 6}",), base_work=2_000.0,
+            ),
+            arrival=1.0 + gap * index,
+        )
+    return workload
+
+
+class TestExecutionRanges:
+    def test_overlap_detection(self):
+        a = ExecutionRange(1, 0.0, 10.0)
+        b = ExecutionRange(2, 5.0, 15.0)
+        c = ExecutionRange(3, 11.0, 20.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_ranges_start_at_arrival(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        for rng in execution_ranges(evaluator):
+            assert rng.start == workload.arrival_of(rng.query_id)
+            assert rng.end > rng.start
+
+
+class TestConflictGroups:
+    def test_burst_forms_one_group(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        groups = conflict_groups(execution_ranges(evaluator))
+        assert len(groups) == 1
+        assert sorted(groups[0]) == [1, 2, 3, 4]
+
+    def test_spread_queries_form_singletons(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = spread_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        groups = conflict_groups(execution_ranges(evaluator))
+        assert all(len(group) == 1 for group in groups)
+        assert len(groups) == 3
+
+    def test_sweep_merges_chains(self):
+        ranges = [
+            ExecutionRange(1, 0.0, 5.0),
+            ExecutionRange(2, 4.0, 9.0),
+            ExecutionRange(3, 8.0, 12.0),  # overlaps 2, not 1 -> same chain
+            ExecutionRange(4, 50.0, 55.0),
+        ]
+        groups = conflict_groups(ranges)
+        assert sorted(map(sorted, groups)) == [[1, 2, 3], [4]]
+
+
+class TestWorkloadEvaluator:
+    def test_permutation_must_cover_workload(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        with pytest.raises(OptimizationError):
+            evaluator.evaluate([1, 2])
+        with pytest.raises(OptimizationError):
+            evaluator.evaluate([1, 2, 3, 3])
+
+    def test_contention_shows_up_in_later_queries(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        result = evaluator.evaluate([1, 2, 3, 4])
+        begins = [a.begin for a in result.assignments]
+        assert begins == sorted(begins)
+        assert result.assignments[-1].begin > workload.arrival_of(4)
+
+    def test_candidates_sorted_by_estimated_iv(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        plans = evaluator.candidates(workload.query(1))
+        values = [plan.information_value for plan in plans]
+        assert values == sorted(values, reverse=True)
+
+    def test_total_is_sum_of_assignments(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        result = evaluator.evaluate([4, 3, 2, 1])
+        assert result.total_information_value == pytest.approx(
+            sum(a.information_value for a in result.assignments)
+        )
+        assert result.mean_information_value == pytest.approx(
+            result.total_information_value / 4
+        )
+
+    def test_evaluation_is_deterministic(self):
+        catalog, cost_model, rates, _sched = build_stack()
+        workload = burst_workload()
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        first = evaluator.evaluate([2, 1, 4, 3]).total_information_value
+        second = evaluator.evaluate([2, 1, 4, 3]).total_information_value
+        assert first == second
+
+
+class TestWorkloadScheduler:
+    def test_mqo_at_least_matches_fifo(self):
+        _catalog, _cm, _rates, scheduler = build_stack(
+            rates=DiscountRates.symmetric(0.15)
+        )
+        workload = burst_workload(count=5)
+        mqo = scheduler.schedule(workload)
+        fifo = scheduler.fifo(workload)
+        assert (
+            mqo.total_information_value
+            >= fifo.total_information_value - 1e-9
+        )
+
+    def test_mqo_improves_under_heavy_contention(self):
+        _catalog, _cm, _rates, scheduler = build_stack(
+            rates=DiscountRates.symmetric(0.15),
+            params=CostParameters(
+                local_throughput=1_000.0, remote_throughput=400.0
+            ),
+        )
+        workload = burst_workload(count=6, gap=0.1)
+        mqo = scheduler.schedule(workload)
+        fifo = scheduler.fifo(workload)
+        assert mqo.total_information_value > fifo.total_information_value
+
+    def test_spread_workload_needs_no_ga(self):
+        _catalog, _cm, _rates, scheduler = build_stack()
+        decision = scheduler.schedule(spread_workload())
+        assert decision.ga_results == []
+        assert all(len(group) == 1 for group in decision.groups)
+
+    def test_permutation_covers_all_queries(self):
+        _catalog, _cm, _rates, scheduler = build_stack()
+        workload = burst_workload(count=5)
+        decision = scheduler.schedule(workload)
+        assert sorted(decision.permutation) == [1, 2, 3, 4, 5]
+
+    def test_empty_workload_rejected(self):
+        _catalog, _cm, _rates, scheduler = build_stack()
+        with pytest.raises(OptimizationError):
+            scheduler.schedule(Workload())
+        with pytest.raises(OptimizationError):
+            scheduler.fifo(Workload())
+        with pytest.raises(OptimizationError):
+            scheduler.greedy_dispatch(Workload())
+
+    def test_greedy_dispatch_schedules_everyone_once(self):
+        _catalog, _cm, _rates, scheduler = build_stack()
+        workload = burst_workload(count=5)
+        result = scheduler.greedy_dispatch(workload)
+        names = sorted(a.query.name for a in result.assignments)
+        assert names == [f"q{i}" for i in range(1, 6)]
+
+    def test_aging_must_outpace_discounts(self):
+        _catalog, _cm, _rates, scheduler = build_stack(
+            rates=DiscountRates.symmetric(0.3)
+        )
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            scheduler.greedy_dispatch(
+                burst_workload(), aging=AgingPolicy(beta=0.1)
+            )
+
+    def test_aging_rescues_starving_query(self):
+        """One big query + stream of small ones: aging bounds its wait."""
+        catalog = build_catalog()
+        cost_model = CostModel(
+            catalog,
+            params=CostParameters(
+                local_throughput=2_000.0, remote_throughput=800.0
+            ),
+        )
+        rates = DiscountRates.symmetric(0.15)
+        scheduler = WorkloadScheduler(catalog, cost_model, rates, seed=2)
+        workload = Workload()
+        workload.add(
+            DSSQuery(query_id=1, name="big", tables=tuple(f"t{i}" for i in range(6)),
+                     base_work=30_000.0),
+            arrival=0.5,
+        )
+        for index in range(20):
+            workload.add(
+                DSSQuery(
+                    query_id=index + 2, name=f"small{index}",
+                    tables=(f"t{index % 6}",), base_work=1_500.0,
+                ),
+                arrival=0.5 + 0.5 * index,
+            )
+
+        def big_wait(result):
+            big = next(a for a in result.assignments if a.query.name == "big")
+            return big.begin - big.arrival
+
+        plain = scheduler.greedy_dispatch(workload, aging=None)
+        aged = scheduler.greedy_dispatch(
+            workload, aging=AgingPolicy(beta=0.4)
+        )
+        assert big_wait(aged) < big_wait(plain)

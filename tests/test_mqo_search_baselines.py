@@ -1,0 +1,113 @@
+"""Unit tests: random search and hill climbing baselines (ABL5 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.mqo.search_baselines import SearchResult, hill_climb, random_search
+
+
+def sortedness(permutation: list[int]) -> float:
+    """Fitness peaking at the identity permutation (max 0.0)."""
+    return -float(
+        sum(abs(value - index) for index, value in enumerate(permutation))
+    )
+
+
+class TestRandomSearch:
+    def test_respects_budget(self):
+        calls = []
+
+        def fitness(permutation):
+            calls.append(1)
+            return sortedness(permutation)
+
+        result = random_search(list(range(6)), fitness, budget=25, seed=1)
+        assert result.evaluations == 25
+        assert len(calls) == 25
+
+    def test_keeps_best_seen(self):
+        result = random_search(list(range(5)), sortedness, budget=200, seed=2)
+        assert result.best_fitness >= sortedness(list(range(5))[::-1])
+        assert sorted(result.best) == list(range(5))
+
+    def test_seed_chromosome_is_floor(self):
+        identity = list(range(8))
+        result = random_search(
+            identity, sortedness, budget=2, seed=3, seed_chromosome=identity
+        )
+        assert result.best_fitness == 0.0
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            random_search([], sortedness, budget=5)
+        with pytest.raises(OptimizationError):
+            random_search([1], sortedness, budget=0)
+
+
+class TestHillClimb:
+    def test_improves_monotonically_from_seed(self):
+        start = list(reversed(range(7)))
+        result = hill_climb(
+            list(range(7)), sortedness, budget=500, seed=4,
+            seed_chromosome=start,
+        )
+        assert result.best_fitness > sortedness(start)
+        assert sorted(result.best) == list(range(7))
+
+    def test_restarts_escape_local_optima_within_budget(self):
+        """A spiky fitness where the seed is a local optimum."""
+        target = [2, 0, 1]
+
+        def spiky(permutation):
+            if permutation == target:
+                return 10.0
+            if permutation == [0, 1, 2]:
+                return 5.0  # local optimum: any single swap scores lower
+            return 0.0
+
+        result = hill_climb(
+            [0, 1, 2], spiky, budget=300, seed=5,
+            seed_chromosome=[0, 1, 2],
+        )
+        assert result.best_fitness == 10.0
+
+    def test_respects_budget(self):
+        calls = []
+
+        def fitness(permutation):
+            calls.append(1)
+            return sortedness(permutation)
+
+        hill_climb(list(range(5)), fitness, budget=40, seed=6)
+        assert len(calls) == 40
+
+    def test_single_gene(self):
+        result = hill_climb([7], lambda p: 1.0, budget=3, seed=0)
+        assert result.best == [7]
+        assert isinstance(result, SearchResult)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            hill_climb([], sortedness, budget=5)
+
+
+class TestComparativeBehaviour:
+    def test_ga_is_competitive_on_structured_fitness(self):
+        """On a smooth landscape the GA should match or beat both baselines
+        at an equal budget — the paper's Goldberg argument in miniature."""
+        from repro.mqo.ga import GAConfig, GeneticAlgorithm
+
+        genes = list(range(9))
+        ga = GeneticAlgorithm(
+            genes, sortedness,
+            GAConfig(population_size=16, generations=25), seed=7,
+        )
+        ga_result = ga.run()
+        budget = max(ga_result.evaluations, 2)
+        rand = random_search(genes, sortedness, budget, seed=7)
+        climb = hill_climb(genes, sortedness, budget, seed=7)
+        assert ga_result.best_fitness >= max(
+            rand.best_fitness, climb.best_fitness
+        ) - 1e-9

@@ -1,0 +1,109 @@
+"""Unit tests: heterogeneous site links and their routing consequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import IVQPOptimizer
+from repro.core.value import DiscountRates
+from repro.errors import ConfigError
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.federation.network import NetworkModel, SiteLink
+from repro.workload.query import DSSQuery
+
+
+class TestSiteLink:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SiteLink(base_latency=-1.0, bandwidth=100.0)
+        with pytest.raises(ConfigError):
+            SiteLink(base_latency=0.1, bandwidth=0.0)
+
+
+class TestNetworkModelLinks:
+    def test_default_link_used_without_override(self):
+        network = NetworkModel(base_latency=0.1, bandwidth=1_000.0)
+        assert network.transfer_time(500.0, site=7) == pytest.approx(0.6)
+
+    def test_override_applies_to_its_site_only(self):
+        network = NetworkModel(
+            base_latency=0.1,
+            bandwidth=1_000.0,
+            site_links={3: SiteLink(base_latency=1.0, bandwidth=100.0)},
+        )
+        assert network.transfer_time(100.0, site=3) == pytest.approx(2.0)
+        assert network.transfer_time(100.0, site=0) == pytest.approx(0.2)
+
+    def test_site_links_are_immutable(self):
+        network = NetworkModel(site_links={1: SiteLink(0.5, 100.0)})
+        with pytest.raises(TypeError):
+            network.site_links[2] = SiteLink(0.1, 100.0)  # type: ignore[index]
+
+    def test_link_lookup(self):
+        slow = SiteLink(2.0, 10.0)
+        network = NetworkModel(site_links={5: slow})
+        assert network.link(5) is slow
+        assert network.link(0).bandwidth == network.bandwidth
+
+
+class TestCostAndRoutingConsequences:
+    def build(self, slow_site_latency: float):
+        catalog = Catalog()
+        catalog.add_table(TableDef("fast_t", site=0, row_count=5_000))
+        catalog.add_table(TableDef("slow_t", site=1, row_count=5_000))
+        for name in ("fast_t", "slow_t"):
+            catalog.add_replica(
+                name, FixedSyncSchedule([1.0], tail_period=8.0)
+            )
+        network = NetworkModel(
+            site_links={1: SiteLink(slow_site_latency, 1_000_000.0)}
+        )
+        model = CostModel(
+            catalog,
+            network=network,
+            params=CostParameters(ship_fraction=0.2),
+        )
+        return catalog, model
+
+    def test_slow_link_inflates_that_sites_leg(self):
+        _catalog, model = self.build(slow_site_latency=5.0)
+        query = DSSQuery(
+            query_id=1, name="q", tables=("fast_t", "slow_t"),
+            base_work=10_000.0,
+        )
+        both = model.combo_cost(query, frozenset({"fast_t", "slow_t"}))
+        legs = dict(both.site_legs)
+        assert legs[1] > legs[0] + 4.0
+
+    def test_ivqp_keeps_the_slow_sites_table_on_its_replica(self):
+        """With one site behind a terrible link, IVQP reads that site's
+        table from the replica and only the fast site remotely."""
+        catalog, model = self.build(slow_site_latency=12.0)
+        rates = DiscountRates(computational=0.05, synchronization=0.05)
+        query = DSSQuery(
+            query_id=1, name="q", tables=("fast_t", "slow_t"),
+            base_work=10_000.0,
+        )
+        plan = IVQPOptimizer(catalog, model, rates).choose_plan(query, 30.0)
+        assert "slow_t" not in plan.remote_tables
+
+    def test_symmetric_links_treat_sites_alike(self):
+        catalog = Catalog()
+        catalog.add_table(TableDef("fast_t", site=0, row_count=5_000))
+        catalog.add_table(TableDef("slow_t", site=1, row_count=5_000))
+        # An override identical to the default link: no asymmetry.
+        network = NetworkModel(
+            site_links={1: SiteLink(0.05, 50_000_000.0)}
+        )
+        model = CostModel(
+            catalog, network=network,
+            params=CostParameters(ship_fraction=0.2),
+        )
+        query = DSSQuery(
+            query_id=1, name="q", tables=("fast_t", "slow_t"),
+            base_work=10_000.0,
+        )
+        both = model.combo_cost(query, frozenset({"fast_t", "slow_t"}))
+        legs = dict(both.site_legs)
+        assert legs[0] == pytest.approx(legs[1], rel=0.01)

@@ -1,0 +1,111 @@
+"""Property tests: analytic cost model invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.federation.network import NetworkModel
+from repro.sim.rng import RandomSource
+from repro.workload.query import DSSQuery
+
+
+def build_world(table_rows, sites, seed):
+    catalog = Catalog()
+    names = []
+    rng = RandomSource(seed, "prop-cost")
+    for index, rows in enumerate(table_rows):
+        name = f"t{index}"
+        names.append(name)
+        site = rng.randint(0, max(sites - 1, 0))
+        catalog.add_table(TableDef(name, site=site, row_count=rows))
+        catalog.add_replica(name, FixedSyncSchedule([1.0], tail_period=5.0))
+    query = DSSQuery(query_id=1, name="prop", tables=tuple(names))
+    return catalog, query
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    table_rows=st.lists(
+        st.integers(min_value=1, max_value=100_000), min_size=1, max_size=6
+    ),
+    sites=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_all_combo_costs_are_finite_and_positive(table_rows, sites, seed):
+    catalog, query = build_world(table_rows, sites, seed)
+    model = CostModel(catalog)
+    import itertools
+
+    for r in range(len(query.tables) + 1):
+        for subset in itertools.combinations(query.tables, r):
+            cost = model.combo_cost(query, frozenset(subset))
+            assert cost.processing > 0
+            assert cost.total < float("inf")
+            assert cost.local_minutes >= model.params.min_processing - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    table_rows=st.lists(
+        st.integers(min_value=100, max_value=50_000), min_size=2, max_size=5
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_adding_a_remote_table_never_reduces_total_cost(table_rows, seed):
+    """Monotonicity: the default calibration makes remote strictly slower
+    than local, so growing the remote set can't cheapen a combo.
+
+    This holds when all tables share one remote site: there the remote legs
+    accumulate.  (Across *different* sites legs run in parallel, and moving
+    work off the local server onto an idle site can legitimately shave a
+    sliver of time — so no cross-site monotonicity is claimed.)
+    """
+    catalog = Catalog()
+    names = []
+    for index, rows in enumerate(table_rows):
+        name = f"t{index}"
+        names.append(name)
+        catalog.add_table(TableDef(name, site=0, row_count=rows))
+    query = DSSQuery(query_id=1, name="mono", tables=tuple(names))
+    model = CostModel(
+        catalog,
+        network=NetworkModel(coordination_overhead=0.0),
+        params=CostParameters(assembly_per_site=0.0),
+    )
+    rng = RandomSource(seed, "mono")
+    base = set(rng.sample(names, rng.randint(0, len(names) - 1)))
+    extra = rng.choice([name for name in names if name not in base])
+    smaller = model.combo_cost(query, frozenset(base))
+    bigger = model.combo_cost(query, frozenset(base | {extra}))
+    assert bigger.total >= smaller.total - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.integers(min_value=100, max_value=100_000),
+    work=st.floats(min_value=10.0, max_value=1e6),
+)
+def test_processing_scales_with_base_work(rows, work):
+    catalog = Catalog()
+    catalog.add_table(TableDef("t", site=0, row_count=rows))
+    model = CostModel(catalog)
+    small = DSSQuery(query_id=1, name="s", tables=("t",), base_work=work)
+    large = DSSQuery(query_id=2, name="l", tables=("t",), base_work=2 * work)
+    assert (
+        model.combo_cost(large, frozenset({"t"})).total
+        >= model.combo_cost(small, frozenset({"t"})).total
+    )
+
+
+def test_combo_cost_is_timestamp_independent(fig4_world):
+    """Section 3.1: compilation happens once, independent of sync state."""
+    catalog, provider, query, _rates = fig4_world
+    model = CostModel(catalog)
+    early = model.combo_cost(query, frozenset({"T1"}))
+    # Consume schedule look-aheads (simulating time passing) ...
+    catalog.replica("T1").freshness_at(500.0)
+    late = model.combo_cost(query, frozenset({"T1"}))
+    assert early is late  # the cache returns the very same compilation

@@ -1,0 +1,90 @@
+"""Property tests: the precomputed routing table on randomized worlds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import IVQPOptimizer
+from repro.core.routing import RoutingTable
+from repro.core.value import DiscountRates
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import StaticCostProvider
+from repro.workload.query import DSSQuery
+
+
+def build_world(periods, offset_fractions, costs_base, cost_step):
+    catalog = Catalog()
+    names = []
+    for index, (period, fraction) in enumerate(zip(periods, offset_fractions)):
+        name = f"T{index}"
+        names.append(name)
+        catalog.add_table(TableDef(name, site=index, row_count=500))
+        offset = max(period * fraction, 1e-3)
+        times = [offset + k * period for k in range(60)]
+        catalog.add_replica(name, FixedSyncSchedule(times, tail_period=period))
+    costs = {k: costs_base + cost_step * k for k in range(len(names) + 1)}
+    provider = StaticCostProvider(catalog, costs)
+    query = DSSQuery(query_id=1, name="prop", tables=tuple(names))
+    return catalog, provider, query
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    periods=st.lists(
+        st.floats(min_value=3.0, max_value=15.0), min_size=1, max_size=3
+    ),
+    offset_fractions=st.lists(
+        st.floats(min_value=0.1, max_value=0.9), min_size=3, max_size=3
+    ),
+    rate=st.floats(min_value=0.02, max_value=0.25),
+    submit=st.floats(min_value=0.0, max_value=35.0),
+    costs_base=st.floats(min_value=0.5, max_value=3.0),
+    cost_step=st.floats(min_value=0.5, max_value=3.0),
+)
+def test_routing_table_stays_near_live_optimum(
+    periods, offset_fractions, rate, submit, costs_base, cost_step
+):
+    """Registered routing answers stay within 10% of the live search and
+    never exceed it (both optimize the same objective, the table over a
+    restricted candidate set)."""
+    catalog, provider, query = build_world(
+        periods, offset_fractions, costs_base, cost_step
+    )
+    rates = DiscountRates.symmetric(rate)
+    table = RoutingTable(catalog, provider, rates, horizon=60.0)
+    table.register(query)
+
+    routed = table.route(query, submit)
+    live = IVQPOptimizer(catalog, provider, rates).choose_plan(query, submit)
+    assert routed.information_value <= live.information_value + 1e-9
+    assert routed.information_value >= 0.9 * live.information_value
+    # Structural sanity of the routed plan.
+    assert routed.submitted_at == submit
+    assert routed.start_time >= submit
+    assert {version.table for version in routed.versions} == set(query.tables)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    period=st.floats(min_value=4.0, max_value=12.0),
+    rate=st.floats(min_value=0.02, max_value=0.2),
+    probes=st.lists(
+        st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=8
+    ),
+)
+def test_routing_is_deterministic_and_fallback_safe(period, rate, probes):
+    catalog, provider, query = build_world(
+        [period], [0.5, 0.5, 0.5], 1.0, 2.0
+    )
+    rates = DiscountRates.symmetric(rate)
+    table = RoutingTable(catalog, provider, rates, horizon=55.0)
+    table.register(query)
+    for probe in probes:
+        first = table.route(query, probe)
+        second = table.route(query, probe)
+        assert first.information_value == pytest.approx(
+            second.information_value
+        )
+    assert table.stats.lookups == 2 * len(probes)

@@ -1,0 +1,86 @@
+"""The public API surface: imports, __all__ consistency, quickstart."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.baselines",
+    "repro.core",
+    "repro.data",
+    "repro.engine",
+    "repro.experiments",
+    "repro.federation",
+    "repro.mqo",
+    "repro.reporting",
+    "repro.sim",
+    "repro.workload",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} needs a module docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_system_runs():
+    from repro import quickstart_system
+
+    system, queries = quickstart_system(scale=0.0005)
+    assert len(queries) == 22
+    system.submit(queries[0], at=5.0)
+    system.run()
+    assert len(system.outcomes) == 1
+    assert 0.0 < system.outcomes[0].information_value <= 1.0
+
+
+def test_top_level_error_hierarchy():
+    import repro
+    from repro.errors import (
+        CatalogError,
+        ConfigError,
+        EngineError,
+        OptimizationError,
+        PlanError,
+        ProcessError,
+        SchedulingError,
+        SimulationError,
+        WorkloadError,
+    )
+
+    for error in (
+        CatalogError, ConfigError, EngineError, OptimizationError,
+        PlanError, ProcessError, SchedulingError, SimulationError,
+        WorkloadError,
+    ):
+        assert issubclass(error, repro.ReproError)
+
+
+def test_public_docstrings_on_core_entry_points():
+    from repro import (
+        DSSQuery,
+        DiscountRates,
+        FederatedSystem,
+        IVQPOptimizer,
+        WorkloadScheduler,
+        build_system,
+        information_value,
+    )
+
+    for obj in (
+        DSSQuery, DiscountRates, FederatedSystem, IVQPOptimizer,
+        WorkloadScheduler, build_system, information_value,
+    ):
+        assert obj.__doc__, f"{obj!r} is missing a docstring"

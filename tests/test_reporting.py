@@ -1,0 +1,69 @@
+"""Unit tests: result tables and series formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.tables import ResultTable, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.2346" in text  # floats at 4 decimals
+        assert "2.0000" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_headers_required(self):
+        with pytest.raises(ConfigError):
+            format_table([], [])
+
+    def test_right_justified_columns(self):
+        text = format_table(["col"], [["x"], ["yyyy"]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("x")
+        assert lines[-1].endswith("yyyy")
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("demo", ["k", "v"])
+        table.add("a", 1.0)
+        table.add("b", 2.0)
+        text = table.render()
+        assert "demo" in text
+        assert text.count("\n") == 4  # title + header + rule + 2 rows
+
+    def test_add_checks_width(self):
+        table = ResultTable("demo", ["k", "v"])
+        with pytest.raises(ConfigError):
+            table.add("only-one")
+
+    def test_column_extraction(self):
+        table = ResultTable("demo", ["k", "v"])
+        table.add("a", 1.0)
+        table.add("b", 2.0)
+        assert table.column("v") == [1.0, 2.0]
+        with pytest.raises(ConfigError):
+            table.column("missing")
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("ivqp", [1, 2], [0.5, 0.25], "sites", "iv")
+        assert "ivqp" in text
+        assert "(1, 0.5000)" in text
+        assert "sites -> iv" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            format_series("s", [1], [1.0, 2.0])

@@ -1,0 +1,58 @@
+"""Unit tests: CSV/JSON export of result tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.export import render, to_csv, to_json
+from repro.reporting.tables import ResultTable
+
+
+def sample_table() -> ResultTable:
+    table = ResultTable("demo", ["approach", "mean_iv"])
+    table.add("ivqp", 0.91)
+    table.add("federation", 0.85)
+    return table
+
+
+class TestCsv:
+    def test_roundtrip_through_csv_reader(self):
+        text = to_csv(sample_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["approach", "mean_iv"]
+        assert rows[1] == ["ivqp", "0.91"]
+        assert len(rows) == 3
+
+    def test_empty_table_has_header_only(self):
+        table = ResultTable("empty", ["a"])
+        assert to_csv(table).strip() == "a"
+
+
+class TestJson:
+    def test_payload_structure(self):
+        payload = json.loads(to_json(sample_table()))
+        assert payload["title"] == "demo"
+        assert payload["rows"][0] == {"approach": "ivqp", "mean_iv": 0.91}
+
+    def test_non_serializable_values_fall_back_to_str(self):
+        table = ResultTable("odd", ["value"])
+        table.add(frozenset({"x"}))
+        payload = json.loads(to_json(table))
+        assert "x" in payload["rows"][0]["value"]
+
+
+class TestRender:
+    def test_dispatches_by_format(self):
+        table = sample_table()
+        assert render(table, "text") == table.render()
+        assert render(table, "csv") == to_csv(table)
+        assert json.loads(render(table, "json"))["title"] == "demo"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigError):
+            render(sample_table(), "yaml")

@@ -1,0 +1,144 @@
+"""Unit tests: the simulation tracer and its system integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.value import DiscountRates
+from repro.errors import SimulationError
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTracer:
+    def make(self, capacity=None):
+        clock = [0.0]
+        tracer = Tracer(lambda: clock[0], capacity=capacity)
+        return clock, tracer
+
+    def test_emit_records_time_and_detail(self):
+        clock, tracer = self.make()
+        clock[0] = 3.5
+        tracer.emit("submit", "Q1", priority=2)
+        record = tracer.records[0]
+        assert record.time == 3.5
+        assert record.kind == "submit"
+        assert record.subject == "Q1"
+        assert record.detail == {"priority": 2}
+
+    def test_disabled_tracer_records_nothing(self):
+        _clock, tracer = self.make()
+        tracer.enabled = False
+        tracer.emit("x", "y")
+        assert len(tracer) == 0
+
+    def test_capacity_evicts_oldest(self):
+        clock, tracer = self.make(capacity=2)
+        for index in range(4):
+            clock[0] = float(index)
+            tracer.emit("tick", str(index))
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+        assert [record.subject for record in tracer.records] == ["2", "3"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Tracer(lambda: 0.0, capacity=0)
+
+    def test_filter_by_kind_subject_and_window(self):
+        clock, tracer = self.make()
+        for time, kind, subject in (
+            (1.0, "submit", "Q1"),
+            (2.0, "complete", "Q1"),
+            (3.0, "submit", "Q2"),
+        ):
+            clock[0] = time
+            tracer.emit(kind, subject)
+        assert len(list(tracer.filter(kind="submit"))) == 2
+        assert len(list(tracer.filter(subject="Q1"))) == 2
+        assert len(list(tracer.filter(since=2.0, until=3.0))) == 2
+        assert len(list(tracer.filter(kind="submit", subject="Q2"))) == 1
+
+    def test_timeline_renders_lines(self):
+        clock, tracer = self.make()
+        clock[0] = 1.25
+        tracer.emit("sync", "orders", at=1.25)
+        text = tracer.timeline()
+        assert "sync" in text
+        assert "orders" in text
+        assert "at=1.25" in text
+
+    def test_timeline_notes_drops(self):
+        clock, tracer = self.make(capacity=1)
+        tracer.emit("a", "1")
+        tracer.emit("b", "2")
+        assert "dropped" in tracer.timeline()
+
+    def test_clear(self):
+        _clock, tracer = self.make()
+        tracer.emit("x", "y")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_record_format(self):
+        record = TraceRecord(2.0, "plan", "Q3", {"remote": "a,b"})
+        text = record.format()
+        assert "plan" in text
+        assert "remote=a,b" in text
+
+
+class TestSystemTracing:
+    def test_traced_system_records_lifecycle(self):
+        from repro.baselines import ivqp_router
+        from repro.federation.system import (
+            SystemConfig,
+            TableSpec,
+            build_system,
+        )
+        from repro.workload.query import DSSQuery
+
+        config = SystemConfig(
+            tables=[
+                TableSpec("a", site=0, row_count=1_000),
+                TableSpec("b", site=1, row_count=2_000),
+            ],
+            replicated=["a"],
+            sync_mode="periodic",
+            sync_mean_interval=4.0,
+            rates=DiscountRates(0.02, 0.02),
+            trace=True,
+            seed=2,
+        )
+        system = build_system(config, ivqp_router)
+        system.submit(DSSQuery(query_id=1, name="q", tables=("a", "b")), at=9.0)
+        system.run()
+
+        tracer = system.tracer
+        assert tracer is not None
+        kinds = [record.kind for record in tracer.records]
+        assert "submit" in kinds
+        assert "plan" in kinds
+        assert "complete" in kinds
+        assert "sync" in kinds
+        # Causal ordering for the query's own lifecycle.
+        q_events = list(tracer.filter(subject="q"))
+        assert [record.kind for record in q_events] == [
+            "submit", "plan", "complete",
+        ]
+        times = [record.time for record in q_events]
+        assert times == sorted(times)
+
+    def test_untraced_system_has_no_tracer(self):
+        from repro.baselines import federation_router
+        from repro.federation.system import (
+            SystemConfig,
+            TableSpec,
+            build_system,
+        )
+
+        config = SystemConfig(
+            tables=[TableSpec("a", site=0, row_count=100)],
+            replicated=[],
+        )
+        system = build_system(config, federation_router)
+        assert system.tracer is None
