@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments check examples all
+.PHONY: install test bench bench-mqo experiments check examples all
 
 install:
 	pip install -e .
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-mqo:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_mqo_perf.py benchmarks/test_fig9_mqo.py --benchmark-only
+	PYTHONPATH=src $(PYTHON) benchmarks/mqo_snapshot.py BENCH_mqo.json
 
 experiments:
 	$(PYTHON) -m repro all

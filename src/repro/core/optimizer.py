@@ -52,6 +52,10 @@ class SearchDiagnostics:
     final_bound: float = 0.0
     bound_tightenings: int = 0
     improvements: list[float] = field(default_factory=list)
+    #: True when the walk stopped at ``max_time_lines`` with time lines
+    #: still inside the scatter bound — the search space was truncated,
+    #: not exhausted by the bound.
+    exhausted: bool = False
 
 
 class IVQPOptimizer:
@@ -127,6 +131,8 @@ class IVQPOptimizer:
                         diag.bound_tightenings += 1
                         diag.final_bound = bound
             time_line = self._next_sync_point(query, replicated, time_line)
+        if visited >= self.max_time_lines and time_line <= bound:
+            diag.exhausted = True
         return best
 
     # -- helpers -----------------------------------------------------------------

@@ -374,7 +374,7 @@ def run_ga_ablation(config: AblationConfig | None = None) -> ResultTable:
 
     ga = GeneticAlgorithm(genes, fitness, config=fig9.ga, seed=config.seed)
     ga_result = ga.run(seed_chromosomes=[arrival_order])
-    budget = max(ga_result.evaluations, 2)
+    budget = max(ga_result.fitness_calls, 2)
 
     random_result = random_search(
         genes, fitness, budget, seed=config.seed,
@@ -396,5 +396,5 @@ def run_ga_ablation(config: AblationConfig | None = None) -> ResultTable:
     table.add("hill-climb", climb_result.best_fitness,
               climb_result.evaluations)
     table.add("genetic-algorithm", ga_result.best_fitness,
-              ga_result.evaluations)
+              ga_result.fitness_calls)
     return table

@@ -21,6 +21,7 @@ from repro.experiments.config import SyntheticSetup, sync_interval_for_ratio
 from repro.federation.costmodel import CostModel, CostParameters
 from repro.federation.catalog import Catalog, TableDef
 from repro.federation.sync import build_schedules
+from repro.mqo.evaluator import EvaluatorStats
 from repro.mqo.ga import GAConfig
 from repro.mqo.scheduler import WorkloadScheduler
 from repro.reporting.tables import ResultTable
@@ -102,6 +103,7 @@ def run_fig9a(config: Fig9Config | None = None) -> ResultTable:
         title="Figure 9(a): mean information value vs overlap rate",
         headers=["overlap_pct", "mqo_iv", "no_mqo_iv", "gain_pct"],
     )
+    totals = EvaluatorStats()
     for rate in config.overlap_rates:
         burst = max(2, int(round(rate * len(queries))))
         workload = overlapping_workload(
@@ -118,6 +120,9 @@ def run_fig9a(config: Fig9Config | None = None) -> ResultTable:
             fifo.mean_information_value,
             gain,
         )
+        if mqo.evaluator_stats is not None:
+            totals.merge(mqo.evaluator_stats)
+    table.add_footnote(f"evaluator: {totals.summary()}")
     return table
 
 
@@ -129,6 +134,7 @@ def run_fig9b(config: Fig9Config | None = None) -> ResultTable:
         title="Figure 9(b): mean information value vs number of queries",
         headers=["num_queries", "mqo_iv", "no_mqo_iv", "gain_pct"],
     )
+    totals = EvaluatorStats()
     for count in config.query_counts:
         queries = random_queries(
             setup.instance, count=count, seed=config.workload_seed
@@ -148,6 +154,9 @@ def run_fig9b(config: Fig9Config | None = None) -> ResultTable:
             fifo.mean_information_value,
             gain,
         )
+        if mqo.evaluator_stats is not None:
+            totals.merge(mqo.evaluator_stats)
+    table.add_footnote(f"evaluator: {totals.summary()}")
     return table
 
 

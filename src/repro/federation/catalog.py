@@ -121,6 +121,18 @@ class SyncSchedule:
         hi = bisect.bisect_right(self._times, end)
         return self._times[lo:hi]
 
+    def completions_through(self, time: float) -> list[float]:
+        """Materialise the timeline through ``time``; return the live list.
+
+        The returned list is the schedule's internal sorted array.  It is
+        append-only — callers may hold the reference and ``bisect`` it
+        directly for any instant ≤ ``time``, which is what lets the MQO
+        fast path resolve replica freshness with pure array arithmetic
+        instead of per-call catalog lookups.  Callers must not mutate it.
+        """
+        self._ensure(time)
+        return self._times
+
 
 class StreamSyncSchedule(SyncSchedule):
     """Independent schedule: gaps drawn from a random stream (or periodic).
@@ -267,6 +279,14 @@ class Replica:
     def staleness_at(self, time: float) -> float:
         """How old the replica's data is at ``time``."""
         return max(0.0, time - self.freshness_at(time))
+
+    def completions_through(self, time: float) -> list[float]:
+        """The schedule's materialised sorted completion array through ``time``.
+
+        See :meth:`SyncSchedule.completions_through` — the list is live and
+        append-only; ``bisect`` it for any instant ≤ ``time``.
+        """
+        return self.schedule.completions_through(time)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Replica({self.name!r})"

@@ -35,7 +35,7 @@ from repro.sim.rng import RandomSource
 from repro.sim.scheduler import Simulator
 from repro.sim.streams import ExponentialStream
 
-__all__ = ["ReplicationManager", "build_schedules"]
+__all__ = ["ReplicationManager", "build_schedules", "prefetch_timelines"]
 
 SyncListener = Callable[[Replica, float], None]
 
@@ -97,6 +97,31 @@ def build_schedules(
             f"unknown sync mode {mode!r} (periodic | exponential | shared)"
         )
     return schedules
+
+
+def prefetch_timelines(
+    catalog: Catalog,
+    horizon: float,
+    table_names: Sequence[str] | None = None,
+) -> None:
+    """Materialise replica sync timelines through ``horizon`` up front.
+
+    Lazily-extended schedules are convenient but put an extension branch on
+    every freshness lookup; batch consumers (the MQO fast path compiles
+    plans against raw sorted arrays) call this once so the hot loop almost
+    never has to extend.  Restrict to ``table_names`` when only a subset of
+    replicas is involved.
+    """
+    if table_names is None:
+        replicas = catalog.replicas
+    else:
+        replicas = [
+            replica
+            for name in table_names
+            if (replica := catalog.replica(name)) is not None
+        ]
+    for replica in replicas:
+        replica.completions_through(horizon)
 
 
 class ReplicationManager:

@@ -7,7 +7,12 @@ from repro.mqo.chromosome import (
     validate_permutation,
 )
 from repro.mqo.conflict import ExecutionRange, conflict_groups, execution_ranges
-from repro.mqo.evaluator import Assignment, EvaluationResult, WorkloadEvaluator
+from repro.mqo.evaluator import (
+    Assignment,
+    EvaluationResult,
+    EvaluatorStats,
+    WorkloadEvaluator,
+)
 from repro.mqo.ga import GAConfig, GAResult, GeneticAlgorithm
 from repro.mqo.scheduler import ScheduleDecision, WorkloadScheduler
 from repro.mqo.search_baselines import SearchResult, hill_climb, random_search
@@ -15,6 +20,7 @@ from repro.mqo.search_baselines import SearchResult, hill_climb, random_search
 __all__ = [
     "Assignment",
     "EvaluationResult",
+    "EvaluatorStats",
     "ExecutionRange",
     "GAConfig",
     "GAResult",

@@ -12,11 +12,38 @@ with the best *realized* IV given those availabilities, then commits the
 plan's resource usage.  Candidate plans per query are enumerated once and
 cached (gather combos at the arrival instant and at scheduled sync points
 within the scatter bound).
+
+Because this is the GA's inner loop, the default code path is a layered
+fast path that produces bit-identical results to the straightforward
+replay (retained as :meth:`WorkloadEvaluator.evaluate_naive`):
+
+* **Plan compilation** — every candidate plan is lowered once into an
+  immutable record of floats and tuples (processing, transmission, commit
+  legs, a sorted sync-completion array per replica read) so realizing a
+  candidate is pure tuple/float arithmetic with zero ``Catalog`` or
+  ``Replica`` calls; each record carries an IV upper bound, and suffix
+  maxima of those bounds let the candidate loop stop as soon as no
+  remaining plan can beat the incumbent.
+* **Prefix memoization** — order crossover and swap mutation produce
+  children sharing long prefixes with their parents, so the evaluator
+  caches ``(query-id prefix) → (free_at snapshot, assignment, partial
+  IV)`` in a trie and resumes from the longest cached prefix instead of
+  replaying from position 0.  Past the shared prefix, a second memo keyed
+  on ``(query, clocks of that query's candidate sites)`` serves repeated
+  identical plan choices — the choice is a pure function of exactly those
+  inputs.  Both caches are bounded: exceeding the entry cap resets them
+  (a generational clear), so memory stays flat across GA generations.
+* **Observability** — an :class:`EvaluatorStats` struct counts prefix
+  hits, resume depths, realize calls (actual vs. what a naive replay would
+  have cost), pruned candidates, and the silent caps applied while
+  enumerating candidates (24-hour horizon clamp, ``max_candidates`` cut).
 """
 
 from __future__ import annotations
 
+import threading
 import typing
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.core.enumeration import CostProvider, enumerate_plans
@@ -27,9 +54,27 @@ from repro.federation.catalog import Catalog
 from repro.federation.site import LOCAL_SITE_ID
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
+
     from repro.workload.query import DSSQuery, Workload
 
-__all__ = ["Assignment", "EvaluationResult", "WorkloadEvaluator"]
+__all__ = [
+    "Assignment",
+    "EvaluationResult",
+    "EvaluatorStats",
+    "WorkloadEvaluator",
+]
+
+#: Lookahead cap while enumerating candidate start times (minutes).
+CANDIDATE_HORIZON_CAP = 24 * 60.0
+
+#: Safety factor on compiled IV upper bounds: libm ``pow`` is only
+#: correct to ~1 ulp, so inflate bounds slightly to keep pruning exact.
+_BOUND_SLACK = 1.0 + 1e-9
+
+#: How far past a requested instant compiled timelines extend, so repeated
+#: nearby lookups rarely re-enter the (slow) schedule-extension path.
+_TIMELINE_SLACK = 64.0
 
 
 @dataclass(frozen=True)
@@ -88,6 +133,149 @@ class EvaluationResult:
         return max((a.begin - a.arrival for a in self.assignments), default=0.0)
 
 
+@dataclass
+class EvaluatorStats:
+    """Counters instrumenting the evaluation fast path.
+
+    ``naive_realize_calls`` is what a from-scratch replay of every
+    evaluated sequence would have cost (one realization per candidate per
+    position); ``realize_calls`` is what the fast path actually performed.
+    The gap decomposes into positions resumed from the prefix trie and
+    candidates pruned by their IV upper bound.
+    """
+
+    evaluations: int = 0
+    realize_calls: int = 0
+    naive_realize_calls: int = 0
+    candidates_pruned: int = 0
+    prefix_hits: int = 0
+    prefix_queries_skipped: int = 0
+    choice_hits: int = 0
+    choice_evictions: int = 0
+    resume_depths: dict[int, int] = field(default_factory=dict)
+    trie_entries: int = 0
+    trie_evictions: int = 0
+    horizon_capped: int = 0
+    candidate_plans_dropped: int = 0
+
+    @property
+    def realize_calls_avoided(self) -> int:
+        """Realizations a naive replay would have done but the fast path skipped."""
+        return self.naive_realize_calls - self.realize_calls
+
+    @property
+    def realize_reduction_factor(self) -> float:
+        """naive/actual realization ratio (``inf`` when nothing was realized)."""
+        if self.realize_calls == 0:
+            return float("inf") if self.naive_realize_calls else 1.0
+        return self.naive_realize_calls / self.realize_calls
+
+    def merge(self, other: "EvaluatorStats") -> None:
+        """Accumulate another stats struct into this one (for reporting)."""
+        self.evaluations += other.evaluations
+        self.realize_calls += other.realize_calls
+        self.naive_realize_calls += other.naive_realize_calls
+        self.candidates_pruned += other.candidates_pruned
+        self.prefix_hits += other.prefix_hits
+        self.prefix_queries_skipped += other.prefix_queries_skipped
+        self.choice_hits += other.choice_hits
+        self.choice_evictions += other.choice_evictions
+        for depth, count in other.resume_depths.items():
+            self.resume_depths[depth] = self.resume_depths.get(depth, 0) + count
+        self.trie_entries += other.trie_entries
+        self.trie_evictions += other.trie_evictions
+        self.horizon_capped += other.horizon_capped
+        self.candidate_plans_dropped += other.candidate_plans_dropped
+
+    def summary(self) -> str:
+        """One-line digest for experiment output."""
+        return (
+            f"evaluations={self.evaluations} "
+            f"realize_calls={self.realize_calls} "
+            f"avoided={self.realize_calls_avoided} "
+            f"(x{self.realize_reduction_factor:.1f}) "
+            f"prefix_hits={self.prefix_hits} "
+            f"choice_hits={self.choice_hits} "
+            f"pruned={self.candidates_pruned} "
+            f"horizon_capped={self.horizon_capped} "
+            f"plans_dropped={self.candidate_plans_dropped}"
+        )
+
+
+class _CompiledTimeline:
+    """One replica's sync completions as a raw sorted array + bisect.
+
+    Mirrors ``Replica.freshness_at`` exactly: last completion ≤ t, falling
+    back to the initial timestamp.  The array reference is live and
+    append-only (see ``SyncSchedule.completions_through``); a coverage
+    watermark keeps the rare schedule-extension call out of the hot loop.
+    """
+
+    __slots__ = ("replica", "times", "initial", "covered")
+
+    def __init__(self, replica, covered: float) -> None:
+        self.replica = replica
+        self.times = replica.completions_through(covered)
+        self.initial = replica.initial_timestamp
+        self.covered = covered
+
+    def freshness(self, time: float) -> float:
+        if time > self.covered:
+            horizon = time + _TIMELINE_SLACK
+            self.times = self.replica.completions_through(horizon)
+            self.covered = horizon
+        index = bisect_right(self.times, time)
+        if index == 0:
+            return self.initial
+        return self.times[index - 1]
+
+
+@dataclass(slots=True)
+class _CompiledPlan:
+    """One candidate plan lowered to pure floats/tuples for the hot loop."""
+
+    plan: QueryPlan
+    start_time: float
+    earliest_begin: float  # max(start_time, arrival)
+    processing: float
+    transmission: float
+    sites: tuple[int, ...]  # all involved servers, local first
+    commit_legs: tuple[tuple[int, float], ...]  # (site, busy minutes past begin)
+    timelines: tuple[_CompiledTimeline, ...]  # one per replica version read
+    has_base: bool
+    business_value: float
+    comp_base: float  # 1 - λ_CL (0.0 disables the factor, matching rate == 0)
+    sync_base: float  # 1 - λ_SL
+    upper_bound: float  # realized IV can never exceed this
+
+
+@dataclass(slots=True)
+class _CompiledQuery:
+    """All of one query's candidates plus pruning metadata."""
+
+    arrival: float
+    candidates: list[_CompiledPlan]
+    suffix_bounds: list[float]  # suffix maxima of candidate upper bounds
+    sites: tuple[int, ...]  # union of candidate sites — the choice's inputs
+
+
+class _TrieNode:
+    """State after executing one query-id prefix."""
+
+    __slots__ = ("children", "free_at", "assignment", "total_iv")
+
+    def __init__(
+        self,
+        free_at: dict[int, float],
+        assignment: Assignment | None,
+        total_iv: float,
+    ) -> None:
+        self.children: dict[int, _TrieNode] = {}
+        self.free_at = free_at
+        self.assignment = assignment
+        self.total_iv = total_iv
+
+
 class WorkloadEvaluator:
     """Scores execution orders of a workload deterministically."""
 
@@ -98,15 +286,43 @@ class WorkloadEvaluator:
         default_rates: DiscountRates,
         workload: "Workload",
         max_candidates: int = 64,
+        fast_path: bool = True,
+        max_prefix_entries: int = 65_536,
     ) -> None:
         if max_candidates < 1:
             raise OptimizationError("max_candidates must be >= 1")
+        if max_prefix_entries < 0:
+            raise OptimizationError("max_prefix_entries must be >= 0")
         self.catalog = catalog
         self.cost_provider = cost_provider
         self.default_rates = default_rates
         self.workload = workload
         self.max_candidates = max_candidates
+        self.fast_path = fast_path
+        self.max_prefix_entries = max_prefix_entries
+        self.stats = EvaluatorStats()
         self._candidates: dict[int, list[QueryPlan]] = {}
+        self._compiled: dict[int, _CompiledQuery] = {}
+        self._timelines: dict[str, _CompiledTimeline] = {}
+        self._trie = _TrieNode({}, None, 0.0)
+        # (query_id, clocks of that query's candidate sites) → choice.
+        # _choose_fast is a pure function of exactly those inputs, so the
+        # memo is exact; bounded by the same cap as the trie.
+        self._choices: dict[
+            tuple, tuple[Assignment, float, _CompiledPlan]
+        ] = {}
+        # Serializes evaluation so a thread-pool GA executor cannot race
+        # on the trie, the compiled caches, or lazy schedule extension.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks are not picklable; workers get their own
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- candidate plans ---------------------------------------------------
 
@@ -115,35 +331,136 @@ class WorkloadEvaluator:
         return query.rates if query.rates is not None else self.default_rates
 
     def candidates(self, query: "DSSQuery") -> list[QueryPlan]:
-        """Cached candidate plans for one query (gather combos + delays)."""
+        """Cached candidate plans for one query (gather combos + delays).
+
+        Two silent caps apply and are recorded in :attr:`stats`: the
+        lookahead horizon is clamped to 24 hours (``horizon_capped``), and
+        plans beyond ``max_candidates`` are cut after the estimated-IV sort
+        (``candidate_plans_dropped``).
+        """
         cached = self._candidates.get(query.query_id)
         if cached is not None:
             return cached
-        arrival = self.workload.arrival_of(query.query_id)
-        rates = self.rates_for(query)
-        all_base_cost = self.cost_provider.combo_cost(
-            query, frozenset(query.tables)
-        )
-        incumbent = information_value(
-            query.business_value,
-            all_base_cost.total,
-            all_base_cost.total,
-            rates,
-        )
-        tolerable = max_tolerable_latency(
-            query.business_value, incumbent, rates.computational
-        )
-        horizon = arrival + min(tolerable, 24 * 60.0)  # cap lookahead at a day
-        plans = enumerate_plans(
-            query, self.catalog, self.cost_provider, rates,
-            submitted_at=arrival, horizon=horizon, exhaustive=False,
-        )
-        plans.sort(key=lambda plan: plan.information_value, reverse=True)
-        plans = plans[: self.max_candidates]
-        self._candidates[query.query_id] = plans
-        return plans
+        with self._lock:
+            cached = self._candidates.get(query.query_id)
+            if cached is not None:
+                return cached
+            arrival = self.workload.arrival_of(query.query_id)
+            rates = self.rates_for(query)
+            all_base_cost = self.cost_provider.combo_cost(
+                query, frozenset(query.tables)
+            )
+            incumbent = information_value(
+                query.business_value,
+                all_base_cost.total,
+                all_base_cost.total,
+                rates,
+            )
+            tolerable = max_tolerable_latency(
+                query.business_value, incumbent, rates.computational
+            )
+            if tolerable > CANDIDATE_HORIZON_CAP:
+                self.stats.horizon_capped += 1
+                tolerable = CANDIDATE_HORIZON_CAP
+            horizon = arrival + tolerable
+            plans = enumerate_plans(
+                query, self.catalog, self.cost_provider, rates,
+                submitted_at=arrival, horizon=horizon, exhaustive=False,
+            )
+            plans.sort(key=lambda plan: plan.information_value, reverse=True)
+            dropped = len(plans) - self.max_candidates
+            if dropped > 0:
+                self.stats.candidate_plans_dropped += dropped
+            plans = plans[: self.max_candidates]
+            self._candidates[query.query_id] = plans
+            return plans
 
-    # -- schedule replay ---------------------------------------------------------
+    # -- plan compilation --------------------------------------------------
+
+    def _timeline(self, table: str, covered: float) -> _CompiledTimeline:
+        timeline = self._timelines.get(table)
+        if timeline is None:
+            replica = self.catalog.replica(table)
+            assert replica is not None  # REPLICA versions imply a replica
+            timeline = _CompiledTimeline(replica, covered)
+            self._timelines[table] = timeline
+        return timeline
+
+    def _compile_plan(self, plan: QueryPlan, arrival: float) -> _CompiledPlan:
+        cost = plan.cost
+        sites = (LOCAL_SITE_ID, *cost.remote_sites)
+        commit_legs = (
+            (LOCAL_SITE_ID, cost.processing),
+            *((site, cost.leg_minutes(site)) for site in cost.remote_sites),
+        )
+        # Cover the timeline through the earliest possible begin plus slack;
+        # contention pushing begin further is handled by the coverage guard.
+        earliest_begin = max(plan.start_time, arrival)
+        timelines = tuple(
+            self._timeline(v.table, earliest_begin + _TIMELINE_SLACK)
+            for v in plan.versions
+            if v.kind is VersionKind.REPLICA
+        )
+        has_base = len(timelines) < len(plan.versions)
+        rates = plan.rates
+        # Realized CL ≥ earliest_begin - arrival + total.  The data
+        # timestamp is ≤ begin — except for a pure-replica plan whose
+        # replicas carry an initial timestamp in the future of begin — so
+        # SL ≥ total with that one correction.  Together these bound
+        # realized IV for any server availability; _BOUND_SLACK absorbs
+        # pow()'s ~1 ulp error so pruning can never flip a comparison.
+        total = cost.processing + cost.transmission
+        min_cl = earliest_begin - arrival + total
+        min_sl = total
+        if timelines and not has_base:
+            initial_max = max(t.initial for t in timelines)
+            if initial_max > earliest_begin:
+                min_sl = max(0.0, earliest_begin + total - initial_max)
+        upper = information_value(
+            plan.query.business_value, min_cl, min_sl, rates
+        ) * _BOUND_SLACK
+        return _CompiledPlan(
+            plan=plan,
+            start_time=plan.start_time,
+            earliest_begin=earliest_begin,
+            processing=cost.processing,
+            transmission=cost.transmission,
+            sites=sites,
+            commit_legs=commit_legs,
+            timelines=timelines,
+            has_base=has_base,
+            business_value=plan.query.business_value,
+            comp_base=(1.0 - rates.computational) if rates.computational else 0.0,
+            sync_base=(1.0 - rates.synchronization) if rates.synchronization else 0.0,
+            upper_bound=upper,
+        )
+
+    def _compiled_query(self, query_id: int) -> _CompiledQuery:
+        compiled = self._compiled.get(query_id)
+        if compiled is not None:
+            return compiled
+        query = self.workload.query(query_id)
+        arrival = self.workload.arrival_of(query_id)
+        plans = self.candidates(query)
+        candidates = [self._compile_plan(plan, arrival) for plan in plans]
+        suffix_bounds = [0.0] * len(candidates)
+        running = float("-inf")
+        for index in range(len(candidates) - 1, -1, -1):
+            running = max(running, candidates[index].upper_bound)
+            suffix_bounds[index] = running
+        site_union: set[int] = set()
+        for candidate in candidates:
+            site_union.update(candidate.sites)
+        compiled = _CompiledQuery(
+            arrival=arrival,
+            candidates=candidates,
+            suffix_bounds=suffix_bounds,
+            sites=tuple(sorted(site_union)),
+        )
+        self._compiled[query_id] = compiled
+        return compiled
+
+    # -- schedule replay ---------------------------------------------------
 
     def _realize(
         self,
@@ -181,6 +498,192 @@ class WorkloadEvaluator:
             leg_end = assignment.begin + assignment.plan.cost.leg_minutes(site)
             free_at[site] = max(free_at.get(site, 0.0), leg_end)
 
+    def _choose_fast(
+        self, compiled: _CompiledQuery, free_at: dict[int, float]
+    ) -> tuple[Assignment, float, "_CompiledPlan"]:
+        """IV-best candidate under current availability, compiled arithmetic only."""
+        stats = self.stats
+        arrival = compiled.arrival
+        candidates = compiled.candidates
+        suffix_bounds = compiled.suffix_bounds
+        best: _CompiledPlan | None = None
+        best_iv = float("-inf")
+        best_begin = best_completed = best_stamp = 0.0
+        realized = 0
+        pruned = 0
+        free_get = free_at.get
+        local_clock = free_get(LOCAL_SITE_ID, 0.0)
+        for index, candidate in enumerate(candidates):
+            if suffix_bounds[index] < best_iv:
+                pruned += len(candidates) - index
+                break
+            bound = candidate.upper_bound
+            if bound < best_iv:
+                pruned += 1
+                continue
+            # Every candidate runs through the local server, so begin is at
+            # least the local clock; decaying the static bound by the extra
+            # wait keeps it valid under contention and far tighter.
+            delay = local_clock - candidate.earliest_begin
+            if delay > 0.0 and candidate.comp_base:
+                bound *= candidate.comp_base**delay * _BOUND_SLACK
+                if bound < best_iv:
+                    pruned += 1
+                    continue
+            begin = candidate.start_time
+            if arrival > begin:
+                begin = arrival
+            for site in candidate.sites:
+                busy = free_get(site, 0.0)
+                if busy > begin:
+                    begin = busy
+            # Same association order as the naive path: (begin + P) + T.
+            completed = begin + candidate.processing + candidate.transmission
+            timelines = candidate.timelines
+            if timelines:
+                stamp = min(t.freshness(begin) for t in timelines)
+                if candidate.has_base and begin < stamp:
+                    stamp = begin
+            else:
+                stamp = begin
+            # Identical arithmetic to information_value()/discount_factor():
+            # bv * (1-λc)**CL * (1-λs)**SL with rate-zero factors elided.
+            iv = candidate.business_value
+            if candidate.comp_base:
+                iv *= candidate.comp_base ** (completed - arrival)
+            if candidate.sync_base:
+                sync_latency = completed - stamp
+                if sync_latency < 0.0:
+                    sync_latency = 0.0
+                iv *= candidate.sync_base ** sync_latency
+            realized += 1
+            if iv > best_iv:
+                best = candidate
+                best_iv = iv
+                best_begin = begin
+                best_completed = completed
+                best_stamp = stamp
+        stats.realize_calls += realized
+        stats.candidates_pruned += pruned
+        if best is None:  # pragma: no cover - candidates never empty
+            raise OptimizationError("no candidate plans survived realization")
+        assignment = Assignment(
+            query=best.plan.query,
+            plan=best.plan,
+            arrival=arrival,
+            begin=best_begin,
+            completed=best_completed,
+            data_timestamp=best_stamp,
+        )
+        return assignment, best_iv, best
+
+    # -- prefix trie -------------------------------------------------------
+
+    def _trie_store(
+        self,
+        node: _TrieNode,
+        query_id: int,
+        free_at: dict[int, float],
+        assignment: Assignment,
+        total_iv: float,
+    ) -> _TrieNode:
+        if self.max_prefix_entries == 0:
+            return node
+        if self.stats.trie_entries >= self.max_prefix_entries:
+            # Generational clear: bounded memory beats a perfect LRU here —
+            # the GA repopulates the hot prefixes within one generation.
+            self._trie = _TrieNode({}, None, 0.0)
+            self.stats.trie_entries = 0
+            self.stats.trie_evictions += 1
+            return self._trie_attach_orphan(query_id, free_at, assignment, total_iv)
+        child = _TrieNode(dict(free_at), assignment, total_iv)
+        node.children[query_id] = child
+        self.stats.trie_entries += 1
+        return child
+
+    def _trie_attach_orphan(
+        self,
+        query_id: int,
+        free_at: dict[int, float],
+        assignment: Assignment,
+        total_iv: float,
+    ) -> _TrieNode:
+        """After a clear mid-evaluation, keep caching from a detached node.
+
+        The orphan chain is not reachable from the new root (its prefix
+        context was evicted), so it only serves the remainder of the
+        current evaluation and is garbage-collected afterwards.
+        """
+        return _TrieNode(dict(free_at), assignment, total_iv)
+
+    # -- evaluation entry points -------------------------------------------
+
+    def evaluate_sequence(self, order: "Sequence[int]") -> EvaluationResult:
+        """Realize an arbitrary sequence of distinct workload query ids.
+
+        This is the fast path: resume from the longest trie-cached prefix,
+        then realize remaining positions with compiled candidates.  Results
+        are bit-identical to :meth:`evaluate_naive` on the same sequence.
+        """
+        if len(set(order)) != len(order):
+            raise OptimizationError("sequence must not repeat query ids")
+        with self._lock:
+            stats = self.stats
+            stats.evaluations += 1
+            node = self._trie
+            assignments: list[Assignment] = []
+            depth = 0
+            for query_id in order:
+                child = node.children.get(query_id)
+                if child is None:
+                    break
+                node = child
+                assignments.append(node.assignment)
+                depth += 1
+            if depth:
+                stats.prefix_hits += 1
+                stats.prefix_queries_skipped += depth
+                for query_id in order[:depth]:
+                    stats.naive_realize_calls += len(
+                        self._compiled_query(query_id).candidates
+                    )
+            stats.resume_depths[depth] = stats.resume_depths.get(depth, 0) + 1
+            free_at = dict(node.free_at)
+            total_iv = node.total_iv
+            choices = self._choices
+            for position in range(depth, len(order)):
+                query_id = order[position]
+                compiled = self._compiled_query(query_id)
+                stats.naive_realize_calls += len(compiled.candidates)
+                free_get = free_at.get
+                key = (
+                    query_id,
+                    *(free_get(site, 0.0) for site in compiled.sites),
+                )
+                memo = choices.get(key)
+                if memo is not None:
+                    stats.choice_hits += 1
+                    assignment, best_iv, chosen = memo
+                else:
+                    assignment, best_iv, chosen = self._choose_fast(
+                        compiled, free_at
+                    )
+                    if len(choices) >= self.max_prefix_entries > 0:
+                        choices.clear()
+                        stats.choice_evictions += 1
+                    choices[key] = (assignment, best_iv, chosen)
+                begin = assignment.begin
+                for site, minutes in chosen.commit_legs:
+                    busy_until = begin + minutes
+                    if busy_until > free_at.get(site, 0.0):
+                        free_at[site] = busy_until
+                total_iv += best_iv
+                assignments.append(assignment)
+                node = self._trie_store(
+                    node, query_id, free_at, assignment, total_iv
+                )
+            return EvaluationResult(assignments=assignments)
+
     def evaluate(self, permutation: list[int]) -> EvaluationResult:
         """Realize a permutation of query ids, greedily re-planning each.
 
@@ -192,9 +695,23 @@ class WorkloadEvaluator:
             raise OptimizationError(
                 "permutation must contain each workload query id exactly once"
             )
+        if self.fast_path:
+            return self.evaluate_sequence(permutation)
+        return self.evaluate_naive(permutation)
+
+    def evaluate_naive(self, order: "Sequence[int]") -> EvaluationResult:
+        """Reference implementation: replay from scratch, no caches.
+
+        Retained as the equivalence oracle for the fast path (property
+        tests and ``benchmarks/test_mqo_perf.py`` assert bit-identical
+        assignments and totals).  Accepts any distinct-id sequence, like
+        :meth:`evaluate_sequence`.
+        """
+        if len(set(order)) != len(order):
+            raise OptimizationError("sequence must not repeat query ids")
         free_at: dict[int, float] = {}
         result = EvaluationResult()
-        for query_id in permutation:
+        for query_id in order:
             query = self.workload.query(query_id)
             arrival = self.workload.arrival_of(query_id)
             best: Assignment | None = None
@@ -213,3 +730,7 @@ class WorkloadEvaluator:
     def fitness(self, permutation: list[int]) -> float:
         """GA fitness: the permutation's total realized information value."""
         return self.evaluate(permutation).total_information_value
+
+    def sequence_fitness(self, order: "Sequence[int]") -> float:
+        """Fitness of a partial order (e.g. one conflict group's permutation)."""
+        return self.evaluate_sequence(order).total_information_value

@@ -7,11 +7,23 @@ may arise ...  The children are ranked based on the evaluation function,
 and the best subset of the children is chosen to be the parents of the next
 generation ...  The generational loop ends after some stopping condition is
 met; we chose to end after 50 generations had passed."
+
+Each generation's not-yet-scored chromosomes are evaluated as one batch
+through a pluggable executor (``GAConfig.executor``): ``"serial"`` (the
+default), ``"thread"`` (a ``ThreadPoolExecutor``) or ``"process"`` (a
+``ProcessPoolExecutor``; requires a picklable fitness callable).  Batch
+membership, cache updates and all counters are decided in the main thread
+in deterministic order, so :class:`GAResult` is bit-for-bit identical
+regardless of the executor — parallelism only changes *where* fitness
+calls run, never which run or how their results are applied.
 """
 
 from __future__ import annotations
 
+import typing
+import warnings
 from collections.abc import Callable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import OptimizationError
@@ -22,9 +34,14 @@ from repro.mqo.chromosome import (
 )
 from repro.sim.rng import RandomSource
 
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mqo.evaluator import EvaluatorStats
+
 __all__ = ["GAConfig", "GAResult", "GeneticAlgorithm"]
 
 Fitness = Callable[[list[int]], float]
+
+_EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -36,6 +53,10 @@ class GAConfig:
     parent_fraction: float = 0.5
     mutation_rate: float = 0.2
     elitism: int = 2
+    #: How generation batches are scored: "serial", "thread" or "process".
+    executor: str = "serial"
+    #: Worker count for pooled executors (``None`` = library default).
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -48,17 +69,40 @@ class GAConfig:
             raise OptimizationError("mutation_rate must be in [0, 1]")
         if not 0 <= self.elitism < self.population_size:
             raise OptimizationError("elitism must be in [0, population_size)")
+        if self.executor not in _EXECUTORS:
+            raise OptimizationError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise OptimizationError("max_workers must be >= 1")
 
 
 @dataclass
 class GAResult:
-    """Outcome of one GA run."""
+    """Outcome of one GA run.
+
+    ``fitness_calls`` counts real fitness-function invocations (cache
+    misses); ``cache_hits`` counts chromosome scorings served from the
+    memo cache.  Their sum is every scoring the run requested.
+    """
 
     best: list[int]
     best_fitness: float
     generations_run: int
     history: list[float] = field(default_factory=list)
-    evaluations: int = 0
+    fitness_calls: int = 0
+    cache_hits: int = 0
+    evaluator_stats: "EvaluatorStats | None" = None
+
+    @property
+    def evaluations(self) -> int:
+        """Deprecated alias for :attr:`fitness_calls` (one release)."""
+        warnings.warn(
+            "GAResult.evaluations is deprecated; use fitness_calls",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.fitness_calls
 
 
 class GeneticAlgorithm:
@@ -70,6 +114,7 @@ class GeneticAlgorithm:
         fitness: Fitness,
         config: GAConfig | None = None,
         seed: int = 0,
+        evaluator_stats: "EvaluatorStats | None" = None,
     ) -> None:
         if not genes:
             raise OptimizationError("GA needs at least one gene")
@@ -77,8 +122,12 @@ class GeneticAlgorithm:
         self.fitness = fitness
         self.config = config or GAConfig()
         self.rng = RandomSource(seed, "ga")
+        self.evaluator_stats = evaluator_stats
         self._cache: dict[tuple[int, ...], float] = {}
-        self._evaluations = 0
+        self._fitness_calls = 0
+        self._cache_hits = 0
+
+    # -- scoring -----------------------------------------------------------
 
     def _score(self, chromosome: list[int]) -> float:
         key = tuple(chromosome)
@@ -87,8 +136,46 @@ class GeneticAlgorithm:
             return cached
         value = self.fitness(chromosome)
         self._cache[key] = value
-        self._evaluations += 1
+        self._fitness_calls += 1
         return value
+
+    def _score_batch(
+        self, population: Sequence[Sequence[int]], pool: Executor | None
+    ) -> None:
+        """Score a population's unseen chromosomes as one batch.
+
+        Pending membership, hit/miss counting and cache insertion all
+        happen here, in population order — the pool only executes the
+        fitness calls, so results are executor-independent.
+        """
+        pending: list[tuple[int, ...]] = []
+        pending_set: set[tuple[int, ...]] = set()
+        for chromosome in population:
+            key = tuple(chromosome)
+            if key in self._cache or key in pending_set:
+                self._cache_hits += 1
+            else:
+                pending_set.add(key)
+                pending.append(key)
+        if not pending:
+            return
+        self._fitness_calls += len(pending)
+        chromosomes = [list(key) for key in pending]
+        if pool is None:
+            values = [self.fitness(chromosome) for chromosome in chromosomes]
+        else:
+            values = list(pool.map(self.fitness, chromosomes))
+        for key, value in zip(pending, values):
+            self._cache[key] = value
+
+    def _make_pool(self) -> Executor | None:
+        if self.config.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.config.max_workers)
+        if self.config.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.config.max_workers)
+        return None
+
+    # -- evolution ---------------------------------------------------------
 
     def run(self, seed_chromosomes: Sequence[Sequence[int]] = ()) -> GAResult:
         """Evolve and return the best permutation found.
@@ -102,31 +189,40 @@ class GeneticAlgorithm:
             population.append(random_permutation(self.genes, self.rng))
         population = population[: cfg.population_size]
 
-        history: list[float] = []
-        best: list[int] = population[0]
-        best_fitness = self._score(best)
+        pool = self._make_pool()
+        try:
+            self._score_batch(population, pool)
+            history: list[float] = []
+            best: list[int] = population[0]
+            best_fitness = self._score(best)
 
-        for _generation in range(cfg.generations):
-            ranked = sorted(population, key=self._score, reverse=True)
-            if self._score(ranked[0]) > best_fitness:
-                best = list(ranked[0])
-                best_fitness = self._score(ranked[0])
-            history.append(best_fitness)
+            for _generation in range(cfg.generations):
+                ranked = sorted(population, key=self._score, reverse=True)
+                if self._score(ranked[0]) > best_fitness:
+                    best = list(ranked[0])
+                    best_fitness = self._score(ranked[0])
+                history.append(best_fitness)
 
-            parent_count = max(2, int(cfg.parent_fraction * cfg.population_size))
-            parents = ranked[:parent_count]
+                parent_count = max(
+                    2, int(cfg.parent_fraction * cfg.population_size)
+                )
+                parents = ranked[:parent_count]
 
-            next_population: list[list[int]] = [
-                list(chromosome) for chromosome in ranked[: cfg.elitism]
-            ]
-            while len(next_population) < cfg.population_size:
-                mother = self.rng.choice(parents)
-                father = self.rng.choice(parents)
-                child = order_crossover(mother, father, self.rng)
-                if self.rng.uniform(0.0, 1.0) < cfg.mutation_rate:
-                    child = swap_mutation(child, self.rng)
-                next_population.append(child)
-            population = next_population
+                next_population: list[list[int]] = [
+                    list(chromosome) for chromosome in ranked[: cfg.elitism]
+                ]
+                while len(next_population) < cfg.population_size:
+                    mother = self.rng.choice(parents)
+                    father = self.rng.choice(parents)
+                    child = order_crossover(mother, father, self.rng)
+                    if self.rng.uniform(0.0, 1.0) < cfg.mutation_rate:
+                        child = swap_mutation(child, self.rng)
+                    next_population.append(child)
+                population = next_population
+                self._score_batch(population, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         # Final ranking of the last generation.
         ranked = sorted(population, key=self._score, reverse=True)
@@ -140,5 +236,7 @@ class GeneticAlgorithm:
             best_fitness=best_fitness,
             generations_run=cfg.generations,
             history=history,
-            evaluations=self._evaluations,
+            fitness_calls=self._fitness_calls,
+            cache_hits=self._cache_hits,
+            evaluator_stats=self.evaluator_stats,
         )

@@ -23,7 +23,12 @@ from repro.core.value import DiscountRates
 from repro.errors import OptimizationError
 from repro.federation.catalog import Catalog
 from repro.mqo.conflict import conflict_groups, execution_ranges
-from repro.mqo.evaluator import Assignment, EvaluationResult, WorkloadEvaluator
+from repro.mqo.evaluator import (
+    Assignment,
+    EvaluationResult,
+    EvaluatorStats,
+    WorkloadEvaluator,
+)
 from repro.mqo.ga import GAConfig, GAResult, GeneticAlgorithm
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,6 +45,7 @@ class ScheduleDecision:
     permutation: list[int]
     groups: list[list[int]]
     ga_results: list[GAResult] = field(default_factory=list)
+    evaluator_stats: EvaluatorStats | None = None
 
     @property
     def total_information_value(self) -> float:
@@ -102,11 +108,10 @@ class WorkloadScheduler:
             seed_order = [qid for qid in arrival_order if qid in set(group)]
             ga = GeneticAlgorithm(
                 genes=group,
-                fitness=lambda perm, ev=evaluator, g=group: self._group_fitness(
-                    ev, perm
-                ),
+                fitness=evaluator.sequence_fitness,
                 config=self.ga_config,
                 seed=self.seed + index,
+                evaluator_stats=evaluator.stats,
             )
             outcome = ga.run(seed_chromosomes=[seed_order])
             ga_results.append(outcome)
@@ -128,32 +133,8 @@ class WorkloadScheduler:
             permutation=permutation,
             groups=groups,
             ga_results=ga_results,
+            evaluator_stats=evaluator.stats,
         )
-
-    def _group_fitness(
-        self, evaluator: WorkloadEvaluator, group_permutation: list[int]
-    ) -> float:
-        """Fitness of a group order: realized IV of just those queries.
-
-        Other groups never overlap this group's range, so evaluating the
-        group in isolation is exact.
-        """
-        free_at: dict[int, float] = {}
-        total = 0.0
-        for query_id in group_permutation:
-            query = evaluator.workload.query(query_id)
-            arrival = evaluator.workload.arrival_of(query_id)
-            best: Assignment | None = None
-            for plan in evaluator.candidates(query):
-                assignment = evaluator._realize(plan, arrival, free_at)
-                if best is None or (
-                    assignment.information_value > best.information_value
-                ):
-                    best = assignment
-            assert best is not None
-            evaluator._commit(best, free_at)
-            total += best.information_value
-        return total
 
     # -- baselines ---------------------------------------------------------------
 

@@ -58,6 +58,7 @@ class ResultTable:
     title: str
     headers: list[str]
     rows: list[list] = field(default_factory=list)
+    footnotes: list[str] = field(default_factory=list)
 
     def add(self, *cells) -> None:
         """Append one row."""
@@ -67,9 +68,16 @@ class ResultTable:
             )
         self.rows.append(list(cells))
 
+    def add_footnote(self, text: str) -> None:
+        """Attach a note rendered below the table (e.g. perf counters)."""
+        self.footnotes.append(text)
+
     def render(self) -> str:
         """The formatted table."""
-        return format_table(self.headers, self.rows, title=self.title)
+        rendered = format_table(self.headers, self.rows, title=self.title)
+        if self.footnotes:
+            rendered += "\n" + "\n".join(f"  {note}" for note in self.footnotes)
+        return rendered
 
     def column(self, header: str) -> list:
         """All values of one column."""

@@ -183,3 +183,22 @@ def test_scatter_gather_matches_oracle_on_uniform_costs(
         )
     )
     assert plan.information_value == pytest.approx(oracle, rel=1e-9)
+
+
+class TestExhaustedFlag:
+    def test_truncated_walk_sets_exhausted(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        diagnostics = SearchDiagnostics()
+        IVQPOptimizer(
+            catalog, provider, rates, max_time_lines=1
+        ).choose_plan(query, 11.0, diagnostics)
+        assert diagnostics.exhausted
+        assert diagnostics.time_lines_visited == 1
+
+    def test_completed_walk_leaves_exhausted_unset(self, fig4_world):
+        catalog, provider, query, rates = fig4_world
+        diagnostics = SearchDiagnostics()
+        IVQPOptimizer(catalog, provider, rates).choose_plan(
+            query, 11.0, diagnostics
+        )
+        assert not diagnostics.exhausted

@@ -1,0 +1,188 @@
+"""Fast-path equivalence and bookkeeping of the workload evaluator.
+
+The layered fast path (compiled plans, upper-bound pruning, prefix trie,
+choice memo) must be invisible: bit-identical assignments and totals to
+the naive replay on every workload and permutation, under any cache
+pressure.  These tests drive randomized workloads through both paths and
+poke at the caps and counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.value import DiscountRates
+from repro.errors import OptimizationError
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.mqo.evaluator import WorkloadEvaluator
+from repro.workload.query import DSSQuery, Workload
+
+NUM_TABLES = 8
+NUM_SITES = 3
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    for index in range(NUM_TABLES):
+        name = f"t{index}"
+        catalog.add_table(
+            TableDef(name, site=index % NUM_SITES, row_count=3_000)
+        )
+        catalog.add_replica(
+            name,
+            FixedSyncSchedule(
+                [1.0 + index * 0.5 + k * 6.0 for k in range(30)],
+                tail_period=6.0,
+            ),
+        )
+    return catalog
+
+
+def build_workload(
+    query_specs: list[tuple[int, float, float]],
+) -> Workload:
+    """Queries from (table_offset, arrival, base_work) triples."""
+    workload = Workload()
+    for index, (offset, arrival, work) in enumerate(query_specs):
+        tables = tuple(
+            f"t{(offset + j) % NUM_TABLES}" for j in range(1 + offset % 3)
+        )
+        workload.add(
+            DSSQuery(
+                query_id=index + 1, name=f"q{index + 1}", tables=tables,
+                base_work=work,
+            ),
+            arrival=arrival,
+        )
+    return workload
+
+
+def build_evaluator(workload: Workload, **kwargs) -> WorkloadEvaluator:
+    catalog = build_catalog()
+    cost_model = CostModel(catalog, params=CostParameters())
+    rates = DiscountRates.symmetric(0.1)
+    return WorkloadEvaluator(catalog, cost_model, rates, workload, **kwargs)
+
+
+def assert_identical(evaluator: WorkloadEvaluator, perm: list[int]) -> None:
+    fast = evaluator.evaluate(list(perm))
+    naive = evaluator.evaluate_naive(list(perm))
+    assert len(fast.assignments) == len(naive.assignments)
+    for a, b in zip(fast.assignments, naive.assignments):
+        assert a.plan is b.plan
+        assert a.begin == b.begin
+        assert a.completed == b.completed
+        assert a.data_timestamp == b.data_timestamp
+    assert fast.total_information_value == naive.total_information_value
+
+
+query_spec = st.tuples(
+    st.integers(min_value=0, max_value=NUM_TABLES - 1),
+    st.floats(min_value=0.0, max_value=30.0),
+    st.floats(min_value=1_000.0, max_value=20_000.0),
+)
+
+
+class TestFastPathEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        specs=st.lists(query_spec, min_size=2, max_size=6),
+        data=st.data(),
+    )
+    def test_random_workloads_and_permutations(self, specs, data):
+        workload = build_workload(specs)
+        evaluator = build_evaluator(workload)
+        qids = [q.query_id for q in workload.queries]
+        for _ in range(4):
+            perm = data.draw(st.permutations(qids))
+            assert_identical(evaluator, list(perm))
+
+    def test_shared_prefix_reuses_trie(self):
+        workload = build_workload(
+            [(0, 1.0, 8_000.0), (1, 1.2, 8_000.0),
+             (2, 1.4, 8_000.0), (3, 1.6, 8_000.0)]
+        )
+        evaluator = build_evaluator(workload)
+        assert_identical(evaluator, [1, 2, 3, 4])
+        # Same prefix, different tail: resume depth 2 at least.
+        assert_identical(evaluator, [1, 2, 4, 3])
+        assert evaluator.stats.prefix_hits >= 1
+        assert evaluator.stats.prefix_queries_skipped >= 2
+
+    def test_tiny_trie_cap_still_correct(self):
+        workload = build_workload(
+            [(0, 1.0, 8_000.0), (1, 1.1, 8_000.0), (2, 1.2, 8_000.0)]
+        )
+        evaluator = build_evaluator(workload, max_prefix_entries=2)
+        perms = [[1, 2, 3], [2, 1, 3], [3, 2, 1], [1, 3, 2], [2, 3, 1]]
+        for perm in perms:
+            assert_identical(evaluator, perm)
+        assert evaluator.stats.trie_evictions > 0
+        assert evaluator.stats.trie_entries <= 2
+
+    def test_zero_cap_disables_memoization(self):
+        workload = build_workload([(0, 1.0, 8_000.0), (1, 1.1, 8_000.0)])
+        evaluator = build_evaluator(workload, max_prefix_entries=0)
+        assert_identical(evaluator, [1, 2])
+        assert_identical(evaluator, [1, 2])
+        assert evaluator.stats.trie_entries == 0
+        assert evaluator.stats.prefix_hits == 0
+
+    def test_fast_path_off_uses_naive(self):
+        workload = build_workload([(0, 1.0, 8_000.0), (1, 1.1, 8_000.0)])
+        evaluator = build_evaluator(workload, fast_path=False)
+        evaluator.evaluate([1, 2])
+        assert evaluator.stats.evaluations == 0  # naive replay is unstatted
+
+    def test_repeated_ids_rejected(self):
+        workload = build_workload([(0, 1.0, 8_000.0), (1, 1.1, 8_000.0)])
+        evaluator = build_evaluator(workload)
+        with pytest.raises(OptimizationError):
+            evaluator.evaluate_sequence([1, 1])
+        with pytest.raises(OptimizationError):
+            evaluator.evaluate_naive([2, 2])
+
+
+class TestCandidateTruncationStats:
+    def test_max_candidates_cut_is_recorded(self):
+        workload = build_workload([(2, 1.0, 8_000.0)])
+        evaluator = build_evaluator(workload, max_candidates=1)
+        query = workload.queries[0]
+        plans = evaluator.candidates(query)
+        assert len(plans) == 1
+        assert evaluator.stats.candidate_plans_dropped > 0
+
+    def test_horizon_cap_is_recorded(self):
+        # For small rates the tolerable delay is roughly twice the plan
+        # cost, so a many-hour query must hit the 24-hour clamp.
+        workload = build_workload([(2, 1.0, 200_000.0)])
+        catalog = build_catalog()
+        cost_model = CostModel(
+            catalog,
+            params=CostParameters(
+                local_throughput=50.0, remote_throughput=50.0
+            ),
+        )
+        rates = DiscountRates.symmetric(1e-4)
+        evaluator = WorkloadEvaluator(catalog, cost_model, rates, workload)
+        evaluator.candidates(workload.queries[0])
+        assert evaluator.stats.horizon_capped == 1
+
+    def test_stats_merge_and_summary(self):
+        workload = build_workload([(0, 1.0, 8_000.0), (1, 1.1, 8_000.0)])
+        evaluator = build_evaluator(workload)
+        assert_identical(evaluator, [1, 2])
+        assert_identical(evaluator, [2, 1])
+        from repro.mqo.evaluator import EvaluatorStats
+
+        totals = EvaluatorStats()
+        totals.merge(evaluator.stats)
+        totals.merge(evaluator.stats)
+        assert totals.evaluations == 2 * evaluator.stats.evaluations
+        assert totals.realize_calls == 2 * evaluator.stats.realize_calls
+        summary = totals.summary()
+        assert "realize_calls=" in summary
+        assert "prefix_hits=" in summary

@@ -153,3 +153,70 @@ class TestGeneticAlgorithm:
     def test_requires_genes(self):
         with pytest.raises(OptimizationError):
             GeneticAlgorithm([], lambda p: 0.0)
+
+
+def _picklable_fitness(permutation: list[int]) -> float:
+    """Module-level so a process-pool executor can pickle it."""
+    return float(permutation[0] * 7 + permutation[-1] * 3)
+
+
+class TestExecutors:
+    def _run(self, executor: str, **config_kwargs):
+        genes = list(range(9))
+        config = GAConfig(
+            generations=12, executor=executor, **config_kwargs
+        )
+        ga = GeneticAlgorithm(genes, _picklable_fitness, config, seed=4)
+        return ga.run()
+
+    def test_thread_executor_is_bit_identical_to_serial(self):
+        serial = self._run("serial")
+        threaded = self._run("thread", max_workers=4)
+        assert threaded.best == serial.best
+        assert threaded.best_fitness == serial.best_fitness
+        assert threaded.history == serial.history
+        assert threaded.fitness_calls == serial.fitness_calls
+        assert threaded.cache_hits == serial.cache_hits
+
+    def test_process_executor_is_bit_identical_to_serial(self):
+        serial = self._run("serial")
+        processed = self._run("process", max_workers=2)
+        assert processed.best == serial.best
+        assert processed.best_fitness == serial.best_fitness
+        assert processed.history == serial.history
+        assert processed.fitness_calls == serial.fitness_calls
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(OptimizationError):
+            GAConfig(executor="cluster")
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(OptimizationError):
+            GAConfig(max_workers=0)
+
+
+class TestScoringCounters:
+    def test_fitness_calls_and_cache_hits_partition_scorings(self):
+        genes = [0, 1, 2]
+        calls = []
+
+        def fitness(permutation: list[int]) -> float:
+            calls.append(tuple(permutation))
+            return float(permutation[0])
+
+        result = GeneticAlgorithm(
+            genes, fitness, GAConfig(generations=10), seed=2
+        ).run()
+        # Every real invocation is a fitness call; each distinct chromosome
+        # is scored at most once.
+        assert result.fitness_calls == len(calls)
+        assert len(set(calls)) == len(calls)
+        assert result.cache_hits > 0  # 3! = 6 permutations, many repeats
+
+    def test_evaluations_alias_is_deprecated(self):
+        genes = [0, 1]
+        result = GeneticAlgorithm(
+            genes, lambda p: float(p[0]), GAConfig(generations=2), seed=1
+        ).run()
+        with pytest.warns(DeprecationWarning, match="fitness_calls"):
+            assert result.evaluations == result.fitness_calls

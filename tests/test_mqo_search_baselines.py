@@ -105,7 +105,7 @@ class TestComparativeBehaviour:
             GAConfig(population_size=16, generations=25), seed=7,
         )
         ga_result = ga.run()
-        budget = max(ga_result.evaluations, 2)
+        budget = max(ga_result.fitness_calls, 2)
         rand = random_search(genes, sortedness, budget, seed=7)
         climb = hill_climb(genes, sortedness, budget, seed=7)
         assert ga_result.best_fitness >= max(
