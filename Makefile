@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-mqo experiments check examples all
+.PHONY: install test test-faults lint ci bench bench-mqo bench-faults experiments check examples all
 
 install:
 	pip install -e .
@@ -10,12 +10,31 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+test-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py tests/test_faults_properties.py tests/test_latency_accounting.py -q
+
+# Lint only when ruff is actually installed (the CI image may not ship it).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/ tests/ benchmarks/; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+# Self-contained: sets PYTHONPATH itself, unlike the bare `test` target.
+ci: lint
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	$(MAKE) test-faults
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-mqo:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_mqo_perf.py benchmarks/test_fig9_mqo.py --benchmark-only
 	PYTHONPATH=src $(PYTHON) benchmarks/mqo_snapshot.py BENCH_mqo.json
+
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/faults_snapshot.py BENCH_faults.json
 
 experiments:
 	$(PYTHON) -m repro all

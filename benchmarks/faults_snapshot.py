@@ -1,0 +1,78 @@
+"""Write ``BENCH_faults.json`` — a point-in-time fault-runtime snapshot.
+
+Runs a reduced EXT3 sweep (micro TPC-H, two outage rates, IVQP and
+Federation under both execution policies) and records wall time, realized
+IV and the fault-handling counters per cell.  Invoked by
+``make bench-faults``; the JSON gives the fault-tolerant runtime a
+baseline to diff against — a regression that silently drops queries or
+stops retrying shows up as a counter shift here.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/faults_snapshot.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import TpchSetup
+from repro.experiments.faults import FaultSweepConfig, run_fault_sweep
+
+
+def snapshot() -> dict:
+    config = FaultSweepConfig(
+        setup=TpchSetup(scale=0.001, seed=7),
+        outage_rates=(0.0, 0.01),
+        outage_mean_duration=8.0,
+        approaches=("ivqp", "federation"),
+    )
+    started = time.perf_counter()
+    table = run_fault_sweep(config)
+    wall = time.perf_counter() - started
+
+    cells = [dict(zip(table.headers, row)) for row in table.rows]
+    retry_failed = sum(
+        cell["failed"] for cell in cells if cell["policy"] == "retry"
+    )
+    assert retry_failed == 0, "retry policy lost a query"
+
+    return {
+        "workload": {
+            "queries": len(config.setup.queries()),
+            "outage_rates": list(config.outage_rates),
+            "approaches": list(config.approaches),
+            "policies": list(config.policies),
+        },
+        "wall_seconds": round(wall, 4),
+        "cells": [
+            {
+                "outage_rate": cell["outage_rate"],
+                "approach": cell["approach"],
+                "policy": cell["policy"],
+                "mean_iv": round(cell["mean_iv"], 6),
+                "failed": cell["failed"],
+                "degraded": cell["degraded"],
+                "retries": cell["retries"],
+                "failovers": cell["failovers"],
+                "syncs_skipped": cell["syncs_skipped"],
+                "syncs_delayed": cell["syncs_delayed"],
+            }
+            for cell in cells
+        ],
+    }
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_faults.json")
+    data = snapshot()
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(json.dumps(data, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from repro.errors import PlanError
 from repro.federation.catalog import Catalog
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.faults import AvailabilityView
     from repro.workload.query import DSSQuery
 
 
@@ -116,14 +117,26 @@ def gather_combos(
     query: "DSSQuery",
     catalog: Catalog,
     at_time: float,
+    availability: "AvailabilityView | None" = None,
 ) -> list[frozenset[str]]:
     """Non-dominated remote-table sets at one start time (the gather step).
 
     Returns ``m + 1`` combos for ``m`` replicated tables: substitute the
     ``k`` stalest replicas with base-table reads, ``k = 0..m``.  Tables
     without replicas are always read remotely.
+
+    With an ``availability`` view, replicated tables whose base site is
+    inside a scheduled outage at ``at_time`` are never substituted — their
+    replica is the only reachable copy, so combos that would read them
+    remotely are excluded up front (degraded-mode planning).
     """
     replicated, base_only = split_tables(query, catalog)
+    if availability is not None:
+        replicated = [
+            name
+            for name in replicated
+            if not availability.is_site_down(catalog.table(name).site, at_time)
+        ]
     order = _staleness_order(replicated, catalog, at_time)
     combos = []
     for k in range(len(order) + 1):
@@ -146,15 +159,27 @@ def sync_points_between(
     catalog: Catalog,
     start: float,
     end: float,
+    availability: "AvailabilityView | None" = None,
 ) -> list[float]:
-    """Sync completion instants of the query's replicas in ``(start, end]``."""
+    """Sync completion instants of the query's replicas in ``(start, end]``.
+
+    With an ``availability`` view, completions that are scheduled to skip
+    or slip are not worth delaying for and are filtered out per replica.
+    """
     if end < start:
         return []
     replicated, _base_only = split_tables(query, catalog)
     points: set[float] = set()
     for name in replicated:
         replica = catalog.replica(name)
-        points.update(replica.schedule.completions_between(start, end))
+        completions = replica.schedule.completions_between(start, end)
+        if availability is not None:
+            completions = [
+                time
+                for time in completions
+                if not availability.unreliable_sync(name, time)
+            ]
+        points.update(completions)
     return sorted(points)
 
 
@@ -166,24 +191,40 @@ def enumerate_plans(
     submitted_at: float,
     horizon: float,
     exhaustive: bool = False,
+    availability: "AvailabilityView | None" = None,
 ) -> list[QueryPlan]:
     """All candidate plans with start times in ``[submitted_at, horizon]``.
 
     With ``exhaustive=True`` every base/replica combination is considered at
     every start time — the oracle the property tests compare the bounded
     scatter-and-gather search against.  Otherwise only the non-dominated
-    gather combos are produced.
+    gather combos are produced.  With an ``availability`` view, combos
+    reading a down site's replicated table remotely and unreliable sync
+    points are excluded (see :func:`gather_combos` /
+    :func:`sync_points_between`).
     """
     start_times = [submitted_at] + sync_points_between(
-        query, catalog, submitted_at, horizon
+        query, catalog, submitted_at, horizon, availability
     )
     plans = []
     seen: set[tuple[float, frozenset[str]]] = set()
     for start_time in start_times:
         if exhaustive:
             combos = all_combos(query, catalog)
+            if availability is not None:
+                combos = [
+                    combo
+                    for combo in combos
+                    if not any(
+                        catalog.has_replica(name)
+                        and availability.is_site_down(
+                            catalog.table(name).site, start_time
+                        )
+                        for name in combo
+                    )
+                ]
         else:
-            combos = gather_combos(query, catalog, start_time)
+            combos = gather_combos(query, catalog, start_time, availability)
         for combo in combos:
             key = (start_time, combo)
             if key in seen:

@@ -38,6 +38,7 @@ from repro.errors import OptimizationError
 from repro.federation.catalog import Catalog
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.faults import AvailabilityView
     from repro.workload.query import DSSQuery
 
 __all__ = ["SearchDiagnostics", "IVQPOptimizer"]
@@ -67,6 +68,7 @@ class IVQPOptimizer:
         cost_provider: CostProvider,
         default_rates: DiscountRates,
         max_time_lines: int = 10_000,
+        availability: "AvailabilityView | None" = None,
     ) -> None:
         if max_time_lines < 1:
             raise OptimizationError("max_time_lines must be >= 1")
@@ -74,6 +76,10 @@ class IVQPOptimizer:
         self.cost_provider = cost_provider
         self.default_rates = default_rates
         self.max_time_lines = max_time_lines
+        #: Scheduled-fault view for degraded-mode planning: down sites'
+        #: replicated tables are kept on their replicas and sync points
+        #: that will skip or slip are not worth delaying for.
+        self.availability = availability
 
     def rates_for(self, query: "DSSQuery") -> DiscountRates:
         """Per-query rates if set, otherwise the system default."""
@@ -95,10 +101,24 @@ class IVQPOptimizer:
         # Scatter: the all-base immediate plan always exists and seeds the
         # bound.  (If only base tables are involved, executing immediately
         # dominates any delay — the paper's parenthetical observation.)
+        # Under an availability view, replicated tables whose base site is
+        # down at submission fall back to their replicas in the seed too.
         all_base = frozenset(query.tables)
+        seed_combo = all_base
+        if self.availability is not None:
+            seed_combo = frozenset(
+                name
+                for name in query.tables
+                if not (
+                    self.catalog.has_replica(name)
+                    and self.availability.is_site_down(
+                        self.catalog.table(name).site, submitted_at
+                    )
+                )
+            )
         best = make_plan(
             query, self.catalog, self.cost_provider, rates,
-            submitted_at, submitted_at, all_base,
+            submitted_at, submitted_at, seed_combo,
         )
         diag.plans_evaluated += 1
         bound = self._bound(query, best, submitted_at, rates)
@@ -113,7 +133,9 @@ class IVQPOptimizer:
         while time_line <= bound and visited < self.max_time_lines:
             visited += 1
             diag.time_lines_visited += 1
-            for combo in gather_combos(query, self.catalog, time_line):
+            for combo in gather_combos(
+                query, self.catalog, time_line, self.availability
+            ):
                 if combo == all_base and time_line > submitted_at:
                     # Delaying an all-base plan only adds CL; dominated.
                     continue
@@ -152,14 +174,32 @@ class IVQPOptimizer:
         )
         return submitted_at + tolerable
 
+    #: How many scheduled-but-unreliable completions to look past per
+    #: replica before giving up on that replica's timeline.
+    _UNRELIABLE_LOOKAHEAD = 32
+
     def _next_sync_point(
         self,
         query: "DSSQuery",
         replicated: list[str],
         after: float,
     ) -> float:
-        """Earliest next synchronization completion among the replicas."""
-        return min(
-            self.catalog.replica(name).next_sync_after(after)
-            for name in replicated
-        )
+        """Earliest next synchronization completion among the replicas.
+
+        Sync points that the availability view says will skip or slip are
+        not worth delaying for; the walk advances past them (bounded per
+        replica so a fully-unreliable schedule cannot loop forever).
+        """
+        best = float("inf")
+        for name in replicated:
+            replica = self.catalog.replica(name)
+            point = replica.next_sync_after(after)
+            if self.availability is not None:
+                for _attempt in range(self._UNRELIABLE_LOOKAHEAD):
+                    if not self.availability.unreliable_sync(name, point):
+                        break
+                    point = replica.next_sync_after(point)
+                else:
+                    continue
+            best = min(best, point)
+        return best

@@ -21,6 +21,7 @@ from repro.experiments.ablations import (
     run_routing_ablation,
     run_search_ablation,
 )
+from repro.experiments.faults import run_fault_sweep
 from repro.experiments.fig4_walkthrough import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[[], list[ResultTable]]] = {
     ],
     "sensitivity": lambda: [run_sensitivity()],
     "load": lambda: [run_load_sweep()],
+    "faults": lambda: [run_fault_sweep()],
 }
 
 #: (group_by, series, value) specs for ``--chart``, where a grouped bar
@@ -77,6 +79,7 @@ CHART_SPECS: dict[str, tuple[tuple[str, ...], str, str]] = {
     "fig5": (("fq_fs", "lambda_sl", "lambda_cl"), "approach", "mean_iv"),
     "fig8": (("placement", "sites"), "approach", "mean_iv"),
     "load": (("interarrival_min",), "approach", "mean_iv"),
+    "faults": (("outage_rate", "policy"), "approach", "mean_iv"),
 }
 
 

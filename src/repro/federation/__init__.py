@@ -15,7 +15,13 @@ from repro.federation.costmodel import (
     CostParameters,
     StaticCostProvider,
 )
-from repro.federation.executor import PlanExecutor, QueryOutcome
+from repro.federation.executor import ExecutionPolicy, PlanExecutor, QueryOutcome
+from repro.federation.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LinkDegradation,
+)
 from repro.federation.network import NetworkModel, SiteLink
 from repro.federation.qos import (
     StalenessAudit,
@@ -37,8 +43,13 @@ __all__ = [
     "ComboCost",
     "CostModel",
     "CostParameters",
+    "ExecutionPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "FederatedSystem",
     "FixedSyncSchedule",
+    "LinkDegradation",
     "LOCAL_SITE_ID",
     "NetworkModel",
     "PlanExecutor",

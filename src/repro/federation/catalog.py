@@ -259,18 +259,64 @@ class Replica:
         self.schedule = schedule
         self.initial_timestamp = float(initial_timestamp)
         self.sync_count = 0  # maintained by the replication manager
+        # Runtime-applied sync record (fault injection).  ``None`` means the
+        # published schedule *is* reality — the default, bit-identical to
+        # the pre-fault-injection behaviour.  A replication manager running
+        # under a fault injector enables tracking and records the syncs
+        # that actually land, which may skip or trail the schedule.
+        self._applied: list[float] | None = None
 
     @property
     def name(self) -> str:
         """The replicated table's name."""
         return self.table.name
 
+    @property
+    def runtime_tracking(self) -> bool:
+        """Whether applied syncs (not the schedule) define realized freshness."""
+        return self._applied is not None
+
+    def enable_runtime_tracking(self) -> None:
+        """Start recording actually-applied syncs (fault-injection mode)."""
+        if self._applied is None:
+            self._applied = []
+
+    def record_applied_sync(self, time: float) -> None:
+        """Record one synchronization that actually landed at ``time``."""
+        if self._applied is None:
+            raise CatalogError(
+                f"replica {self.name!r} is not tracking applied syncs; "
+                "call enable_runtime_tracking() first"
+            )
+        if self._applied and time < self._applied[-1]:
+            raise CatalogError("applied syncs must be recorded in time order")
+        self._applied.append(time)
+
     def freshness_at(self, time: float) -> float:
-        """Timestamp of the replica's data as of ``time``."""
+        """Timestamp of the replica's data as of ``time``.
+
+        This is the *published-schedule* answer — what a planner betting on
+        the replication manager's promises should assume.  Use
+        :meth:`realized_freshness_at` for what the replica actually holds.
+        """
         last = self.schedule.last_completion_at_or_before(time)
         if last is None:
             return self.initial_timestamp
         return last
+
+    def realized_freshness_at(self, time: float) -> float:
+        """Timestamp of the data the replica *actually* holds at ``time``.
+
+        Identical to :meth:`freshness_at` unless runtime tracking is on,
+        in which case only syncs the replication manager really applied
+        (none skipped, delays honoured) count.
+        """
+        if self._applied is None:
+            return self.freshness_at(time)
+        index = bisect.bisect_right(self._applied, time)
+        if index == 0:
+            return self.initial_timestamp
+        return self._applied[index - 1]
 
     def next_sync_after(self, time: float) -> float:
         """When the next synchronization of this replica completes."""

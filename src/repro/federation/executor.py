@@ -11,19 +11,71 @@ moment its remote leg actually starts (queuing included), and a replica's
 freshness is whatever the replica holds when local processing begins — if a
 synchronization landed while the query sat in queue, the result is fresher
 than planned.
+
+Fault tolerance (only active when a
+:class:`~repro.federation.faults.FaultInjector` is attached) follows an
+:class:`ExecutionPolicy`: a remote leg that finds its site down waits for
+recovery and retries with exponential backoff; a leg stuck in a remote
+queue past ``leg_timeout`` withdraws and retries; a leg interrupted
+mid-execution by an outage loses its work and retries.  When a leg
+exhausts its retries the executor *fails over*: the lost site's tables are
+re-planned onto their local replicas and execution resumes without
+re-running legs that already finished.  Queries with no replica to fall
+back on are recorded as failed outcomes (IV 0) — never silently dropped.
 """
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass
 
 from repro.core.plan import QueryPlan, VersionKind
 from repro.core.value import information_value
+from repro.errors import ConfigError, PlanError
 from repro.federation.catalog import Catalog
 from repro.federation.site import LOCAL_SITE_ID, Site
 from repro.sim.scheduler import Simulator
 
-__all__ = ["QueryOutcome", "PlanExecutor"]
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.enumeration import CostProvider
+    from repro.federation.faults import FaultInjector
+
+__all__ = ["ExecutionPolicy", "QueryOutcome", "PlanExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the executor reacts to remote-leg failures.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *per leg* before giving up on its site.
+    retry_backoff:
+        Base backoff in minutes; attempt ``k`` waits ``k × retry_backoff``
+        on top of any outage-recovery wait (exponential-ish, deterministic).
+    leg_timeout:
+        Maximum minutes a leg may sit in a remote queue before withdrawing
+        and retrying (``None`` disables queue timeouts).
+    failover:
+        Whether a leg that exhausts retries may be re-planned onto the
+        lost tables' replicas instead of failing the query.
+    """
+
+    max_retries: int = 3
+    retry_backoff: float = 0.1
+    leg_timeout: float | None = None
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.leg_timeout is not None and self.leg_timeout <= 0:
+            raise ConfigError(f"leg_timeout must be > 0, got {self.leg_timeout}")
 
 
 @dataclass
@@ -36,6 +88,16 @@ class QueryOutcome:
     completed_at: float
     data_timestamp: float
     queue_wait: float
+    #: Longest queueing wait among the remote legs (minutes).
+    remote_wait: float = 0.0
+    #: Remote-leg retry attempts consumed across the whole execution.
+    retries: int = 0
+    #: Times the executor re-planned lost tables onto replicas.
+    failovers: int = 0
+    #: Whether any fault-handling path fired (retry, failover or failure).
+    degraded: bool = False
+    #: The query produced no result (no retry or failover could save it).
+    failed: bool = False
 
     @property
     def query(self):
@@ -54,7 +116,9 @@ class QueryOutcome:
 
     @property
     def information_value(self) -> float:
-        """Realized IV of the delivered report."""
+        """Realized IV of the delivered report (0 for failed queries)."""
+        if self.failed:
+            return 0.0
         return information_value(
             self.plan.query.business_value,
             self.computational_latency,
@@ -64,11 +128,16 @@ class QueryOutcome:
 
     def describe(self) -> str:
         """One-line summary of the outcome."""
+        marks = ""
+        if self.failed:
+            marks = " FAILED"
+        elif self.degraded:
+            marks = f" degraded(retries={self.retries}, failovers={self.failovers})"
         return (
             f"{self.plan.query.name}: CL={self.computational_latency:.2f} "
             f"SL={self.synchronization_latency:.2f} "
             f"IV={self.information_value:.4f} "
-            f"(wait={self.queue_wait:.2f})"
+            f"(wait={self.queue_wait:.2f}){marks}"
         )
 
 
@@ -80,10 +149,16 @@ class PlanExecutor:
         sim: Simulator,
         catalog: Catalog,
         sites: dict[int, Site],
+        policy: ExecutionPolicy | None = None,
+        faults: "FaultInjector | None" = None,
+        cost_provider: "CostProvider | None" = None,
     ) -> None:
         self.sim = sim
         self.catalog = catalog
         self.sites = sites
+        self.policy = policy or ExecutionPolicy()
+        self.faults = faults
+        self.cost_provider = cost_provider
         self.outcomes: list[QueryOutcome] = []
 
     def site(self, site_id: int) -> Site:
@@ -96,15 +171,105 @@ class PlanExecutor:
 
     # -- simulation processes ----------------------------------------------
 
-    def _remote_leg(self, site_id: int, minutes: float, freshness_box: list):
+    def _remote_leg(self, site_id: int, minutes: float, record: dict):
+        """One remote leg; ``record`` reports wait/retries/freshness/status."""
+        sim = self.sim
         site = self.site(site_id)
-        request = site.server.request()
-        yield request
-        freshness_box.append(self.sim.now)  # base data is as-of leg start
+        faults = self.faults
+        policy = self.policy
+        attempts = 0
+        while True:
+            if faults is not None and faults.site_down(site_id, sim.now):
+                # Down before we even connect: wait out the outage, back off.
+                if attempts >= policy.max_retries:
+                    record["status"] = "failover"
+                    return
+                attempts += 1
+                record["retries"] += 1
+                faults.stats.legs_stalled_on_outage += 1
+                up = faults.site_up_after(site_id, sim.now)
+                yield sim.timeout(
+                    max(0.0, up - sim.now) + policy.retry_backoff * attempts
+                )
+                continue
+            request = site.server.request()
+            if policy.leg_timeout is not None:
+                timer = sim.timeout(policy.leg_timeout)
+                yield sim.any_of([request, timer])
+                if request.granted_at is None:
+                    # Timed out in queue: withdraw, back off, try again.
+                    request.cancel()
+                    if attempts >= policy.max_retries:
+                        record["status"] = "failover"
+                        return
+                    attempts += 1
+                    record["retries"] += 1
+                    yield sim.timeout(policy.retry_backoff * attempts)
+                    continue
+            else:
+                yield request
+            granted = sim.now
+            record["wait"] = max(record["wait"], request.wait_time)
+            service = minutes
+            if faults is not None:
+                service += faults.leg_penalty(site_id, granted, minutes)
+                outage = faults.next_outage_after(site_id, granted)
+                if outage < granted + service:
+                    # The site fails under us: work until the outage hits,
+                    # then the partial work is lost.
+                    faults.stats.legs_interrupted += 1
+                    if outage > granted:
+                        yield sim.timeout(outage - granted)
+                    site.server.release(request)
+                    if attempts >= policy.max_retries:
+                        record["status"] = "failover"
+                        return
+                    attempts += 1
+                    record["retries"] += 1
+                    up = faults.site_up_after(site_id, sim.now)
+                    yield sim.timeout(
+                        max(0.0, up - sim.now) + policy.retry_backoff * attempts
+                    )
+                    continue
+            try:
+                yield sim.timeout(service)
+            finally:
+                site.server.release(request)
+            record["freshness"] = granted  # base data is as-of leg start
+            record["status"] = "ok"
+            return
+
+    def _failover_plan(
+        self, current: QueryPlan, lost_sites: list[int]
+    ) -> QueryPlan | None:
+        """Re-plan the lost sites' base tables onto their replicas."""
+        if not self.policy.failover or self.cost_provider is None:
+            return None
+        # Imported lazily: enumeration sits above the federation package.
+        from repro.core.enumeration import make_plan
+        lost = set(lost_sites)
+        lost_tables = {
+            version.table
+            for version in current.versions
+            if version.kind is VersionKind.BASE
+            and self.catalog.table(version.table).site in lost
+        }
+        if not lost_tables:
+            return None
+        if any(not self.catalog.has_replica(name) for name in lost_tables):
+            return None  # no fallback copy exists; the query is lost
         try:
-            yield self.sim.timeout(minutes)
-        finally:
-            site.server.release(request)
+            return make_plan(
+                current.query,
+                self.catalog,
+                self.cost_provider,
+                current.rates,
+                current.submitted_at,
+                max(self.sim.now, current.submitted_at),
+                current.remote_tables - lost_tables,
+            )
+        except PlanError:
+            return None
 
     def _run(self, plan: QueryPlan):
         sim = self.sim
@@ -114,17 +279,68 @@ class PlanExecutor:
             yield sim.timeout(plan.start_time - sim.now)
         started_at = sim.now
 
-        # Remote legs run in parallel on their sites.
-        base_freshness: list[float] = []
-        legs = [
-            sim.process(
-                self._remote_leg(site_id, minutes, base_freshness),
-                name=f"leg:{plan.query.name}@{site_id}",
+        # Remote legs run in parallel on their sites; a site whose leg
+        # exhausts its retries triggers a failover re-plan, and legs that
+        # already finished are never re-run.
+        current = plan
+        completed: dict[int, dict] = {}
+        retries = 0
+        failovers = 0
+        remote_wait = 0.0
+        failed = False
+        while True:
+            records: list[dict] = []
+            legs = []
+            for site_id, minutes in current.cost.site_legs:
+                if site_id in completed:
+                    continue
+                record = {
+                    "site": site_id,
+                    "status": "pending",
+                    "wait": 0.0,
+                    "retries": 0,
+                    "freshness": None,
+                }
+                records.append(record)
+                legs.append(
+                    sim.process(
+                        self._remote_leg(site_id, minutes, record),
+                        name=f"leg:{current.query.name}@{site_id}",
+                    )
+                )
+            if legs:
+                yield sim.all_of(legs)
+            for record in records:
+                retries += record["retries"]
+                remote_wait = max(remote_wait, record["wait"])
+                if record["status"] == "ok":
+                    completed[record["site"]] = record
+            lost = [r["site"] for r in records if r["status"] != "ok"]
+            if not lost:
+                break
+            replacement = self._failover_plan(current, lost)
+            if replacement is None:
+                failed = True
+                break
+            failovers += 1
+            current = replacement
+
+        if failed:
+            outcome = QueryOutcome(
+                plan=current,
+                submitted_at=submitted_at,
+                started_at=started_at,
+                completed_at=sim.now,
+                data_timestamp=started_at,
+                queue_wait=0.0,
+                remote_wait=remote_wait,
+                retries=retries,
+                failovers=failovers,
+                degraded=True,
+                failed=True,
             )
-            for site_id, minutes in plan.cost.site_legs
-        ]
-        if legs:
-            yield sim.all_of(legs)
+            self.outcomes.append(outcome)
+            return outcome
 
         # Local assembly / replica scans at the federation server.
         local = self.site(LOCAL_SITE_ID)
@@ -132,42 +348,42 @@ class PlanExecutor:
         yield request
         local_start = sim.now
         try:
-            yield sim.timeout(plan.cost.local_minutes)
+            yield sim.timeout(current.cost.local_minutes)
         finally:
             local.server.release(request)
 
-        if plan.cost.transmission > 0:
-            yield sim.timeout(plan.cost.transmission)
+        if current.cost.transmission > 0:
+            yield sim.timeout(current.cost.transmission)
         completed_at = sim.now
 
-        # Realized freshness per version kind.
+        # Realized freshness per version kind: base tables are as-of their
+        # leg's actual start; replicas hold whatever synchronizations have
+        # actually been applied by local processing start.
         freshness: list[float] = []
-        base_iter = iter(base_freshness)
-        for version in plan.versions:
+        for version in current.versions:
             if version.kind is VersionKind.BASE:
-                freshness.append(version.freshness)
+                record = completed.get(self.catalog.table(version.table).site)
+                freshness.append(
+                    record["freshness"] if record is not None else version.freshness
+                )
             else:
                 replica = self.catalog.replica(version.table)
-                freshness.append(replica.freshness_at(local_start))
-        if base_freshness:
-            # All base tables in this plan share the legs' start instants;
-            # the stalest (earliest-started) leg bounds their freshness.
-            earliest_leg = min(base_freshness)
-            freshness = [
-                earliest_leg if v.kind is VersionKind.BASE else f
-                for v, f in zip(plan.versions, freshness)
-            ]
+                freshness.append(replica.realized_freshness_at(local_start))
 
         data_timestamp = min(freshness) if freshness else started_at
         outcome = QueryOutcome(
-            plan=plan,
+            plan=current,
             submitted_at=submitted_at,
             started_at=started_at,
             completed_at=completed_at,
             data_timestamp=data_timestamp,
-            queue_wait=local_start - started_at
-            - (max((m for _s, m in plan.cost.site_legs), default=0.0)),
+            # Measured directly on the local request — never inferred by
+            # subtracting estimated leg minutes from wall-clock.
+            queue_wait=request.wait_time,
+            remote_wait=remote_wait,
+            retries=retries,
+            failovers=failovers,
+            degraded=retries > 0 or failovers > 0,
         )
-        outcome.queue_wait = max(0.0, outcome.queue_wait)
         self.outcomes.append(outcome)
         return outcome

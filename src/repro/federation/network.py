@@ -63,23 +63,29 @@ class NetworkModel:
             raise ConfigError("bandwidth must be > 0")
         if self.coordination_overhead < 0:
             raise ConfigError("coordination_overhead must be >= 0")
-        # Freeze the override map so the model stays a value object.
+        # Freeze the override map so the model stays a value object, and
+        # cache the default link instead of allocating one per lookup.
         object.__setattr__(
             self, "site_links", MappingProxyType(dict(self.site_links))
+        )
+        object.__setattr__(
+            self, "_default_link", SiteLink(self.base_latency, self.bandwidth)
         )
 
     def link(self, site: int | None = None) -> SiteLink:
         """The link used for a site (the default when unspecified)."""
         if site is not None and site in self.site_links:
             return self.site_links[site]
-        return SiteLink(self.base_latency, self.bandwidth)
+        return self._default_link
 
     def transfer_time(self, size_bytes: float, site: int | None = None) -> float:
-        """Minutes to move ``size_bytes`` over one link."""
+        """Minutes to move ``size_bytes`` over one link.
+
+        Even a zero-byte payload pays the link's base latency: an empty
+        result still costs a round trip.
+        """
         if size_bytes < 0:
             raise ConfigError(f"size_bytes must be >= 0, got {size_bytes}")
-        if size_bytes == 0:
-            return 0.0
         link = self.link(site)
         return link.base_latency + size_bytes / link.bandwidth
 

@@ -20,6 +20,7 @@ Three scheduling modes cover the paper's setups:
 
 from __future__ import annotations
 
+import typing
 from collections.abc import Callable, Sequence
 
 from repro.errors import ConfigError
@@ -30,6 +31,10 @@ from repro.federation.catalog import (
     StreamSyncSchedule,
     SyncSchedule,
 )
+from repro.federation.faults import SYNC_DELAY, SYNC_SKIP
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.faults import FaultInjector
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RandomSource
 from repro.sim.scheduler import Simulator
@@ -132,15 +137,19 @@ class ReplicationManager:
         sim: Simulator,
         catalog: Catalog,
         qos_max_staleness: float | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         if qos_max_staleness is not None and qos_max_staleness <= 0:
             raise ConfigError("qos_max_staleness must be > 0")
         self.sim = sim
         self.catalog = catalog
         self.qos_max_staleness = qos_max_staleness
+        self.injector = injector
         self.staleness = Monitor("replica-staleness-at-sync")
         self.qos_violations = 0
         self.total_syncs = 0
+        self.syncs_skipped = 0
+        self.syncs_delayed = 0
         self._listeners: list[SyncListener] = []
         self._started = False
 
@@ -149,29 +158,59 @@ class ReplicationManager:
         self._listeners.append(listener)
 
     def start(self) -> None:
-        """Launch one driver process per replica (idempotent)."""
+        """Launch one driver process per replica (idempotent).
+
+        Under a fault injector the replicas switch to runtime freshness
+        tracking: only syncs that actually land count towards
+        :meth:`~repro.federation.catalog.Replica.realized_freshness_at`.
+        """
         if self._started:
             return
         self._started = True
+        if self.injector is not None:
+            self.injector.start()
+            for replica in self.catalog.replicas:
+                replica.enable_runtime_tracking()
         for replica in self.catalog.replicas:
             self.sim.process(self._drive(replica), name=f"sync:{replica.name}")
 
     def _drive(self, replica: Replica):
-        while True:
-            now = self.sim.now
-            next_completion = replica.next_sync_after(now)
-            yield self.sim.timeout(next_completion - now)
-            self._on_sync(replica, self.sim.now)
-
-    def _on_sync(self, replica: Replica, now: float) -> None:
-        # Staleness *just before* this sync: the gap the new version closes.
-        previous = replica.schedule.last_completion_at_or_before(now - 1e-9)
+        # Consume the published schedule's completions *strictly in order*:
+        # the cursor advances one completion per iteration, so near-equal
+        # completion instants (whose timeout collapses to zero under float
+        # addition) can no longer fire the same sync twice, and completions
+        # sharing an exact timestamp collapse to one sync event.  Staleness
+        # gaps are measured against the previously *applied* completion —
+        # no epsilon lookups.
+        cursor = self.sim.now
+        previous = replica.schedule.last_completion_at_or_before(cursor)
         if previous is None:
             previous = replica.initial_timestamp
+        while True:
+            completion = replica.next_sync_after(cursor)
+            cursor = completion
+            if completion > self.sim.now:
+                yield self.sim.timeout(completion - self.sim.now)
+            if self.injector is not None:
+                kind, delay = self.injector.sync_disposition(replica, completion)
+                if kind == SYNC_SKIP:
+                    self.syncs_skipped += 1
+                    continue
+                if kind == SYNC_DELAY and delay > 0.0:
+                    self.syncs_delayed += 1
+                    yield self.sim.timeout(delay)
+            applied_at = max(completion, self.sim.now)
+            self._on_sync(replica, applied_at, previous)
+            previous = applied_at
+
+    def _on_sync(self, replica: Replica, now: float, previous: float) -> None:
+        # Staleness *just before* this sync: the gap the new version closes.
         gap = max(0.0, now - previous)
         self.staleness.observe(gap)
         self.total_syncs += 1
         replica.sync_count += 1
+        if replica.runtime_tracking:
+            replica.record_applied_sync(now)
         if self.qos_max_staleness is not None and gap > self.qos_max_staleness:
             self.qos_violations += 1
         for listener in self._listeners:

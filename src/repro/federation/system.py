@@ -18,7 +18,8 @@ from repro.engine.planner import Database
 from repro.errors import ConfigError
 from repro.federation.catalog import Catalog, SyncSchedule, TableDef
 from repro.federation.costmodel import CostModel, CostParameters
-from repro.federation.executor import PlanExecutor, QueryOutcome
+from repro.federation.executor import ExecutionPolicy, PlanExecutor, QueryOutcome
+from repro.federation.faults import FaultInjector, FaultPlan
 from repro.federation.network import NetworkModel
 from repro.federation.site import LOCAL_SITE_ID, Site
 from repro.federation.sync import ReplicationManager, build_schedules
@@ -72,6 +73,12 @@ class SystemConfig:
     seed: int = 0
     engine_db: Database | None = None
     trace: bool = False  # record a Tracer timeline of system events
+    #: Optional pre-scheduled faults; when set, a FaultInjector is wired
+    #: through the replication manager, the executor and (for routers that
+    #: support it) degraded-mode planning.
+    fault_plan: FaultPlan | None = None
+    #: Retry/timeout/failover behaviour of the executor under faults.
+    execution_policy: ExecutionPolicy | None = None
 
     def __post_init__(self) -> None:
         names = [spec.name for spec in self.tables]
@@ -95,6 +102,8 @@ class FederatedSystem:
         replication: ReplicationManager,
         rates: DiscountRates,
         tracer: Tracer | None = None,
+        injector: FaultInjector | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         self.sim = sim
         self.catalog = catalog
@@ -103,7 +112,15 @@ class FederatedSystem:
         self.router = router
         self.replication = replication
         self.rates = rates
-        self.executor = PlanExecutor(sim, catalog, sites)
+        self.injector = injector
+        self.executor = PlanExecutor(
+            sim,
+            catalog,
+            sites,
+            policy=policy,
+            faults=injector,
+            cost_provider=cost_model,
+        )
         self.iv_monitor = Monitor("information-value")
         self.cl_monitor = Monitor("computational-latency")
         self.sl_monitor = Monitor("synchronization-latency")
@@ -233,6 +250,33 @@ class FederatedSystem:
         """Mean realized SL over completed queries."""
         return self.sl_monitor.mean
 
+    # -- fault accounting --------------------------------------------------
+
+    @property
+    def total_retries(self) -> int:
+        """Remote-leg retries consumed across all outcomes."""
+        return sum(outcome.retries for outcome in self.outcomes)
+
+    @property
+    def total_failovers(self) -> int:
+        """Failover re-plans across all outcomes."""
+        return sum(outcome.failovers for outcome in self.outcomes)
+
+    @property
+    def degraded_count(self) -> int:
+        """Outcomes that needed any fault handling."""
+        return sum(1 for outcome in self.outcomes if outcome.degraded)
+
+    @property
+    def failed_count(self) -> int:
+        """Queries that produced no result (IV 0)."""
+        return sum(1 for outcome in self.outcomes if outcome.failed)
+
+    @property
+    def fault_stats(self):
+        """The injector's counters, or ``None`` without fault injection."""
+        return self.injector.stats if self.injector is not None else None
+
 
 def build_system(
     config: SystemConfig,
@@ -293,8 +337,30 @@ def build_system(
         engine_db=config.engine_db,
     )
     router = router_factory(catalog, cost_model, config.rates)
+
+    injector = None
+    if config.fault_plan is not None:
+        # The sync-failure model needs to know which site sources each
+        # replicated table; fill it in from the catalog when unset.
+        if not config.fault_plan.table_sites:
+            config.fault_plan.table_sites = {
+                spec.name: spec.site
+                for spec in config.tables
+                if spec.name in set(config.replicated)
+            }
+        injector = FaultInjector(
+            sim, config.fault_plan, sites=sites, network=config.network
+        )
+        # Routers that support degraded-mode planning (the IVQP optimizer)
+        # get the scheduled-fault view; baselines simply ignore it.
+        if hasattr(router, "availability"):
+            router.availability = config.fault_plan
+
     replication = ReplicationManager(
-        sim, catalog, qos_max_staleness=config.qos_max_staleness
+        sim,
+        catalog,
+        qos_max_staleness=config.qos_max_staleness,
+        injector=injector,
     )
     tracer = Tracer(lambda: sim.now) if config.trace else None
     return FederatedSystem(
@@ -306,4 +372,6 @@ def build_system(
         replication=replication,
         rates=config.rates,
         tracer=tracer,
+        injector=injector,
+        policy=config.execution_policy,
     )

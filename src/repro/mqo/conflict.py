@@ -8,6 +8,12 @@ workload for the next step."
 A query's *execution range* spans from its arrival to the completion of its
 slowest candidate plan; queries whose ranges overlap form connected
 components, each optimized as one workload.
+
+Ranges use **half-open ``[start, end)`` semantics**: a range ends the
+instant its slowest plan completes, and a query arriving at exactly that
+instant cannot contend with it — the server is already free.  Two ranges
+touching at a single point therefore do *not* conflict and stay in
+separate workloads.
 """
 
 from __future__ import annotations
@@ -22,15 +28,19 @@ __all__ = ["ExecutionRange", "execution_ranges", "conflict_groups"]
 
 @dataclass(frozen=True)
 class ExecutionRange:
-    """The time range one query may occupy."""
+    """The half-open time range ``[start, end)`` one query may occupy."""
 
     query_id: int
     start: float
     end: float
 
     def overlaps(self, other: "ExecutionRange") -> bool:
-        """Whether two ranges intersect."""
-        return self.start <= other.end and other.start <= self.end
+        """Whether two ranges share a positive-length interval.
+
+        Half-open semantics: ranges that merely touch at one instant
+        (``self.end == other.start``) do not overlap.
+        """
+        return self.start < other.end and other.start < self.end
 
 
 def execution_ranges(evaluator: WorkloadEvaluator) -> list[ExecutionRange]:
@@ -50,14 +60,16 @@ def conflict_groups(ranges: list[ExecutionRange]) -> list[list[int]]:
     """Connected components of the range-overlap graph (sweep line).
 
     Returns groups of query ids; singleton groups are queries that never
-    contend and can be planned individually.
+    contend and can be planned individually.  Consistent with
+    :meth:`ExecutionRange.overlaps`, a range starting exactly where the
+    previous group ends opens a *new* group (half-open semantics).
     """
     ordered = sorted(ranges, key=lambda r: (r.start, r.end, r.query_id))
     groups: list[list[int]] = []
     current: list[int] = []
     current_end = float("-inf")
     for rng in ordered:
-        if current and rng.start <= current_end:
+        if current and rng.start < current_end:
             current.append(rng.query_id)
             current_end = max(current_end, rng.end)
         else:

@@ -56,6 +56,7 @@ from repro.federation.site import LOCAL_SITE_ID
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Sequence
 
+    from repro.federation.faults import AvailabilityView
     from repro.workload.query import DSSQuery, Workload
 
 __all__ = [
@@ -157,6 +158,7 @@ class EvaluatorStats:
     trie_evictions: int = 0
     horizon_capped: int = 0
     candidate_plans_dropped: int = 0
+    candidates_unavailable: int = 0
 
     @property
     def realize_calls_avoided(self) -> int:
@@ -186,6 +188,7 @@ class EvaluatorStats:
         self.trie_evictions += other.trie_evictions
         self.horizon_capped += other.horizon_capped
         self.candidate_plans_dropped += other.candidate_plans_dropped
+        self.candidates_unavailable += other.candidates_unavailable
 
     def summary(self) -> str:
         """One-line digest for experiment output."""
@@ -198,7 +201,8 @@ class EvaluatorStats:
             f"choice_hits={self.choice_hits} "
             f"pruned={self.candidates_pruned} "
             f"horizon_capped={self.horizon_capped} "
-            f"plans_dropped={self.candidate_plans_dropped}"
+            f"plans_dropped={self.candidate_plans_dropped} "
+            f"unavailable={self.candidates_unavailable}"
         )
 
 
@@ -288,6 +292,7 @@ class WorkloadEvaluator:
         max_candidates: int = 64,
         fast_path: bool = True,
         max_prefix_entries: int = 65_536,
+        availability: "AvailabilityView | None" = None,
     ) -> None:
         if max_candidates < 1:
             raise OptimizationError("max_candidates must be >= 1")
@@ -297,6 +302,11 @@ class WorkloadEvaluator:
         self.cost_provider = cost_provider
         self.default_rates = default_rates
         self.workload = workload
+        #: Scheduled-fault view: candidate enumeration avoids down sites
+        #: and unreliable sync points, and compiled candidates whose remote
+        #: legs land on a down site are filtered (never to empty — a query
+        #: whose only plans touch down sites keeps them as a last resort).
+        self.availability = availability
         self.max_candidates = max_candidates
         self.fast_path = fast_path
         self.max_prefix_entries = max_prefix_entries
@@ -366,7 +376,22 @@ class WorkloadEvaluator:
             plans = enumerate_plans(
                 query, self.catalog, self.cost_provider, rates,
                 submitted_at=arrival, horizon=horizon, exhaustive=False,
+                availability=self.availability,
             )
+            if self.availability is not None:
+                available = [
+                    plan
+                    for plan in plans
+                    if not any(
+                        self.availability.is_site_down(site, plan.start_time)
+                        for site in plan.cost.remote_sites
+                    )
+                ]
+                if available:
+                    self.stats.candidates_unavailable += len(plans) - len(
+                        available
+                    )
+                    plans = available
             plans.sort(key=lambda plan: plan.information_value, reverse=True)
             dropped = len(plans) - self.max_candidates
             if dropped > 0:

@@ -1,0 +1,146 @@
+"""Deterministic fault timelines for the simulation kernel.
+
+The kernel rule applies here too: *this module knows nothing about
+databases*.  It provides the generic machinery higher layers build fault
+models from — half-open ``[start, end)`` windows, a queryable
+:class:`OutageTimeline` of disjoint down-windows, and a seeded generator
+that turns an outage rate into a reproducible alternating up/down
+timeline.  ``repro.federation.faults`` attaches the domain meaning (site
+outages, sync failures, link degradation).
+
+Everything is pre-scheduled and pure: given the same seed and parameters
+the same windows come back, which is what makes fault-injection runs
+replayable and lets planners inspect the timeline ahead of time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.rng import RandomSource
+
+__all__ = ["Window", "OutageTimeline", "generate_outage_windows"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One half-open time interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(f"window start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ConfigError(
+                f"window must have positive length, got [{self.start}, {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the window in minutes."""
+        return self.end - self.start
+
+    def contains(self, time: float) -> bool:
+        """Whether ``time`` falls inside the half-open window."""
+        return self.start <= time < self.end
+
+
+class OutageTimeline:
+    """A sorted sequence of disjoint down-windows with point queries.
+
+    Answers the three questions fault-aware components ask: is the entity
+    down at ``t``, when does it come back up, and when does the next
+    outage begin.  Beyond the last window the entity is up forever.
+    """
+
+    def __init__(self, windows: list[Window] | None = None) -> None:
+        ordered = sorted(windows or [], key=lambda w: w.start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.start < earlier.end:
+                raise ConfigError(
+                    f"outage windows overlap: [{earlier.start}, {earlier.end}) "
+                    f"and [{later.start}, {later.end})"
+                )
+        self.windows: tuple[Window, ...] = tuple(ordered)
+        self._starts = [window.start for window in self.windows]
+
+    def __bool__(self) -> bool:
+        return bool(self.windows)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def is_down(self, time: float) -> bool:
+        """Whether the entity is inside a down-window at ``time``."""
+        index = bisect.bisect_right(self._starts, time) - 1
+        return index >= 0 and self.windows[index].contains(time)
+
+    def up_at(self, time: float) -> float:
+        """Earliest instant ≥ ``time`` at which the entity is up."""
+        index = bisect.bisect_right(self._starts, time) - 1
+        if index >= 0 and self.windows[index].contains(time):
+            return self.windows[index].end
+        return time
+
+    def next_down_after(self, time: float) -> float:
+        """Start of the first down-window at or after ``time``.
+
+        Returns ``time`` itself when already down, ``inf`` when no further
+        outage is scheduled.
+        """
+        index = bisect.bisect_right(self._starts, time) - 1
+        if index >= 0 and self.windows[index].contains(time):
+            return time
+        if index + 1 < len(self.windows):
+            return self.windows[index + 1].start
+        return float("inf")
+
+    def downtime_before(self, horizon: float) -> float:
+        """Total down-minutes in ``[0, horizon)``."""
+        total = 0.0
+        for window in self.windows:
+            if window.start >= horizon:
+                break
+            total += min(window.end, horizon) - window.start
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OutageTimeline({len(self.windows)} windows)"
+
+
+def generate_outage_windows(
+    source: RandomSource,
+    horizon: float,
+    rate: float,
+    mean_duration: float,
+    min_duration: float = 1e-3,
+) -> OutageTimeline:
+    """Draw a reproducible alternating up/down timeline through ``horizon``.
+
+    Outages arrive as a Poisson process with ``rate`` events per minute of
+    *uptime*; each lasts an exponential ``mean_duration``.  A zero rate
+    yields an empty timeline.  The same ``source`` (same seed and name)
+    always produces the same windows.
+    """
+    if rate < 0:
+        raise ConfigError(f"outage rate must be >= 0, got {rate}")
+    if mean_duration <= 0:
+        raise ConfigError(f"mean_duration must be > 0, got {mean_duration}")
+    if horizon <= 0:
+        raise ConfigError(f"horizon must be > 0, got {horizon}")
+    if rate == 0.0:
+        return OutageTimeline()
+    windows: list[Window] = []
+    clock = 0.0
+    while True:
+        clock += source.expovariate(rate)
+        if clock >= horizon:
+            break
+        duration = max(source.expovariate(1.0 / mean_duration), min_duration)
+        windows.append(Window(clock, clock + duration))
+        clock += duration
+    return OutageTimeline(windows)

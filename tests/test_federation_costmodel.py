@@ -20,8 +20,11 @@ class TestNetworkModel:
         network = NetworkModel(base_latency=0.1, bandwidth=1000.0)
         assert network.transfer_time(500.0) == pytest.approx(0.6)
 
-    def test_zero_bytes_is_free(self):
-        assert NetworkModel().transfer_time(0.0) == 0.0
+    def test_zero_bytes_still_pays_base_latency(self):
+        # Regression: an empty result is still a round trip — zero-byte
+        # payloads must not skip the connection latency.
+        network = NetworkModel(base_latency=0.1, bandwidth=1000.0)
+        assert network.transfer_time(0.0) == pytest.approx(0.1)
 
     def test_coordination_charges_beyond_first_site(self):
         network = NetworkModel(coordination_overhead=0.5)

@@ -79,6 +79,24 @@ class TestExecutionRanges:
         assert b.overlaps(a)
         assert not a.overlaps(c)
 
+    def test_touching_ranges_do_not_overlap(self):
+        # Half-open [start, end) semantics: a range ending at t and a
+        # range starting at t share no positive-length interval.  The old
+        # closed comparison (<=) treated them as conflicting.
+        a = ExecutionRange(1, 0.0, 5.0)
+        b = ExecutionRange(2, 5.0, 9.0)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_point_adjacent_ranges_overlap_when_interior_shared(self):
+        a = ExecutionRange(1, 0.0, 5.0)
+        b = ExecutionRange(2, 5.0 - 1e-9, 9.0)
+        assert a.overlaps(b)
+
+    def test_range_overlaps_itself(self):
+        a = ExecutionRange(1, 2.0, 4.0)
+        assert a.overlaps(a)
+
     def test_ranges_start_at_arrival(self):
         catalog, cost_model, rates, _sched = build_stack()
         workload = burst_workload()
@@ -114,6 +132,17 @@ class TestConflictGroups:
         ]
         groups = conflict_groups(ranges)
         assert sorted(map(sorted, groups)) == [[1, 2, 3], [4]]
+
+    def test_touching_ranges_open_new_group(self):
+        # Consistent with half-open overlaps: [0,5) and [5,9) never
+        # contend, so the sweep must not merge them into one workload.
+        ranges = [
+            ExecutionRange(1, 0.0, 5.0),
+            ExecutionRange(2, 5.0, 9.0),
+            ExecutionRange(3, 9.0, 12.0),
+        ]
+        groups = conflict_groups(ranges)
+        assert sorted(map(sorted, groups)) == [[1], [2], [3]]
 
 
 class TestWorkloadEvaluator:
