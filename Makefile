@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint ci bench bench-mqo bench-faults experiments check examples all
+.PHONY: install test test-fast test-faults trace-check lint ci bench bench-mqo bench-faults experiments check examples all
 
 install:
 	pip install -e .
@@ -10,8 +10,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Everything except the long-running property/integration tests.
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
+
 test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py tests/test_faults_properties.py tests/test_latency_accounting.py -q
+
+# Audit the fig4 golden scenario with the trace invariant checker.
+trace-check:
+	PYTHONPATH=src $(PYTHON) -m repro trace fig4 --check >/dev/null
+	@echo "trace-check: fig4 scenario clean"
 
 # Lint only when ruff is actually installed (the CI image may not ship it).
 lint:
@@ -25,6 +34,7 @@ lint:
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	$(MAKE) test-faults
+	$(MAKE) trace-check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

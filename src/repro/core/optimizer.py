@@ -130,7 +130,13 @@ class IVQPOptimizer:
 
         time_line = submitted_at
         visited = 0
-        while time_line <= bound and visited < self.max_time_lines:
+        # ``bound`` is infinite when lambda_cl == 0, and ``_next_sync_point``
+        # returns inf once no replica has a reliable future sync; an infinite
+        # time line has nothing to evaluate, so it ends the walk rather than
+        # satisfying ``inf <= inf``.
+        while time_line <= bound and time_line != float("inf") and (
+            visited < self.max_time_lines
+        ):
             visited += 1
             diag.time_lines_visited += 1
             for combo in gather_combos(

@@ -83,6 +83,67 @@ CHART_SPECS: dict[str, tuple[tuple[str, ...], str, str]] = {
 }
 
 
+def _run_trace(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: run a scenario, export/audit its trace."""
+    import json
+
+    from repro.experiments.trace_scenarios import TRACE_SCENARIOS
+    from repro.obs import (
+        TraceChecker,
+        build_query_spans,
+        render_span,
+        to_chrome_trace,
+        to_jsonl,
+    )
+
+    name = args.scenario or "fig4"
+    if name not in TRACE_SCENARIOS:
+        parser.error(
+            f"unknown trace scenario {name!r} "
+            f"(expected one of {', '.join(sorted(TRACE_SCENARIOS))})"
+        )
+    system = TRACE_SCENARIOS[name]()
+    records = system.tracer.records
+
+    if args.trace_format == "jsonl":
+        body = to_jsonl(records)
+    elif args.trace_format == "chrome":
+        body = json.dumps(to_chrome_trace(records), indent=2)
+    elif args.trace_format == "spans":
+        body = "\n\n".join(
+            render_span(span) for span in build_query_spans(records)
+        )
+    else:
+        body = system.tracer.timeline()
+    if args.metrics:
+        body = f"{body}\n\n{system.metrics().to_json()}"
+
+    exit_code = 0
+    if args.check:
+        violations = TraceChecker().check(records)
+        if violations:
+            listing = "\n".join(str(violation) for violation in violations)
+            body = (
+                f"{body}\n\ntrace-check: {len(violations)} violation(s)\n{listing}"
+            )
+            exit_code = 1
+        else:
+            body = (
+                f"{body}\n\ntrace-check: OK "
+                f"({len(records)} records, {len(system.ledger)} ledger entries)"
+            )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body + "\n")
+    else:
+        try:
+            print(body)
+        except BrokenPipeError:
+            return exit_code
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -94,8 +155,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "check"],
-        help="which figure to regenerate ('check' audits every claimed shape)",
+        choices=sorted(EXPERIMENTS) + ["all", "check", "trace"],
+        help=(
+            "which figure to regenerate ('check' audits every claimed "
+            "shape; 'trace' runs an observability scenario)"
+        ),
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="trace scenario ('trace' subcommand only): fig4 | stream | faults",
     )
     parser.add_argument(
         "--format", dest="fmt", choices=("text", "csv", "json"),
@@ -110,9 +178,31 @@ def main(argv: list[str] | None = None) -> int:
         help="append an ASCII bar chart (fig5, fig8, load; text format only)",
     )
     parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome", "timeline", "spans"),
+        default="timeline",
+        help=(
+            "trace output ('trace' only): lossless JSONL, chrome://tracing "
+            "JSON, a readable timeline, or per-query span trees"
+        ),
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="('trace' only) run the TraceChecker; non-zero exit on violations",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="('trace' only) append the metrics registry snapshot (JSON)",
+    )
+    parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        return _run_trace(parser, args)
+    if args.scenario is not None:
+        parser.error("a scenario argument is only valid with 'trace'")
 
     if args.experiment == "check":
         from repro.experiments.validate import render_report, validate_all

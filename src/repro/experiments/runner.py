@@ -7,7 +7,9 @@ aggregates every figure needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+import typing
+from dataclasses import dataclass, field
 
 from repro.baselines import federation_router, ivqp_router, warehouse_router
 from repro.errors import ConfigError
@@ -15,6 +17,10 @@ from repro.federation.executor import QueryOutcome
 from repro.federation.system import FederatedSystem, SystemConfig, build_system
 from repro.workload.arrival import poisson_arrivals
 from repro.workload.query import DSSQuery, Workload
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.ledger import IVLedgerEntry
+    from repro.sim.trace import Tracer
 
 __all__ = ["APPROACHES", "RunResult", "run_stream", "run_single_queries"]
 
@@ -38,6 +44,12 @@ class RunResult:
     mean_cl: float
     mean_sl: float
     outcomes: list[QueryOutcome]
+    #: The run's tracer and IV audit ledger when tracing was requested
+    #: (``trace=True`` or a ``SystemConfig`` built with ``trace=True``).
+    tracer: "Tracer | None" = None
+    ledger: "list[IVLedgerEntry]" = field(default_factory=list)
+    #: The drained system behind the run (for metrics/checker access).
+    system: FederatedSystem | None = None
 
     @property
     def per_query_cl(self) -> dict[str, float]:
@@ -82,10 +94,19 @@ def run_stream(
     mean_interarrival: float,
     rounds: int = 1,
     arrival_seed: int = 3,
+    trace: bool = False,
 ) -> RunResult:
-    """Submit ``rounds`` passes over ``queries`` as a Poisson stream."""
+    """Submit ``rounds`` passes over ``queries`` as a Poisson stream.
+
+    ``trace=True`` turns on the observability layer for this run (span
+    events + IV audit ledger) without touching the caller's config; the
+    tracer and ledger come back on the :class:`RunResult`.  Tracing is
+    pure bookkeeping — aggregates are bit-identical either way.
+    """
     if rounds < 1:
         raise ConfigError(f"rounds must be >= 1, got {rounds}")
+    if trace and not config.trace:
+        config = dataclasses.replace(config, trace=True)
     system = _build(config, approach)
     stream: list[DSSQuery] = []
     next_id = 1
@@ -113,6 +134,9 @@ def run_stream(
         mean_cl=system.mean_computational_latency,
         mean_sl=system.mean_synchronization_latency,
         outcomes=system.outcomes,
+        tracer=system.tracer,
+        ledger=system.ledger,
+        system=system,
     )
 
 

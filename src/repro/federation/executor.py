@@ -34,11 +34,14 @@ from repro.core.value import information_value
 from repro.errors import ConfigError, PlanError
 from repro.federation.catalog import Catalog
 from repro.federation.site import LOCAL_SITE_ID, Site
+from repro.obs import events
+from repro.obs.ledger import IVLedgerEntry, VersionProvenance
 from repro.sim.scheduler import Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.enumeration import CostProvider
     from repro.federation.faults import FaultInjector
+    from repro.sim.trace import Tracer
 
 __all__ = ["ExecutionPolicy", "QueryOutcome", "PlanExecutor"]
 
@@ -98,6 +101,12 @@ class QueryOutcome:
     degraded: bool = False
     #: The query produced no result (no retry or failover could save it).
     failed: bool = False
+    #: Phase boundaries (observability): when the last remote leg settled,
+    #: when the local server granted, and when local assembly finished.
+    #: For failed queries all three collapse onto ``completed_at``.
+    remote_done_at: float = 0.0
+    local_granted_at: float = 0.0
+    local_done_at: float = 0.0
 
     @property
     def query(self):
@@ -152,14 +161,26 @@ class PlanExecutor:
         policy: ExecutionPolicy | None = None,
         faults: "FaultInjector | None" = None,
         cost_provider: "CostProvider | None" = None,
+        tracer: "Tracer | None" = None,
+        audit: bool | None = None,
     ) -> None:
+        """``tracer`` enables span events; ``audit`` the IV ledger.
+
+        ``audit`` defaults to "whenever a tracer is attached" — the ledger
+        rides the trace.  Both off (the default) leaves the hot path
+        bit-identical to an uninstrumented executor.
+        """
         self.sim = sim
         self.catalog = catalog
         self.sites = sites
         self.policy = policy or ExecutionPolicy()
         self.faults = faults
         self.cost_provider = cost_provider
+        self.tracer = tracer
+        self.audit = (tracer is not None) if audit is None else audit
         self.outcomes: list[QueryOutcome] = []
+        #: IV audit ledger (one entry per outcome) when ``audit`` is on.
+        self.ledger: list[IVLedgerEntry] = []
 
     def site(self, site_id: int) -> Site:
         """Look up a site (local server under :data:`LOCAL_SITE_ID`)."""
@@ -169,25 +190,38 @@ class PlanExecutor:
         """Start executing a plan; returns the driving process (joinable)."""
         return self.sim.process(self._run(plan), name=f"exec:{plan.query.name}")
 
+    def _emit(self, kind: str, plan: QueryPlan, **detail) -> None:
+        """Trace one lifecycle event for ``plan``'s query (no-op untraced)."""
+        if self.tracer is not None:
+            self.tracer.emit(
+                kind, plan.query.name, qid=plan.query.query_id, **detail
+            )
+
     # -- simulation processes ----------------------------------------------
 
-    def _remote_leg(self, site_id: int, minutes: float, record: dict):
+    def _remote_leg(self, plan: QueryPlan, site_id: int, minutes: float, record: dict):
         """One remote leg; ``record`` reports wait/retries/freshness/status."""
         sim = self.sim
         site = self.site(site_id)
         faults = self.faults
         policy = self.policy
         attempts = 0
+        self._emit(events.LEG_START, plan, site=site_id)
         while True:
             if faults is not None and faults.site_down(site_id, sim.now):
                 # Down before we even connect: wait out the outage, back off.
                 if attempts >= policy.max_retries:
                     record["status"] = "failover"
+                    self._emit(events.LEG_EXHAUSTED, plan, site=site_id)
                     return
                 attempts += 1
                 record["retries"] += 1
                 faults.stats.legs_stalled_on_outage += 1
                 up = faults.site_up_after(site_id, sim.now)
+                self._emit(
+                    events.LEG_BLOCKED, plan, site=site_id, until=up,
+                    attempt=attempts,
+                )
                 yield sim.timeout(
                     max(0.0, up - sim.now) + policy.retry_backoff * attempts
                 )
@@ -201,15 +235,23 @@ class PlanExecutor:
                     request.cancel()
                     if attempts >= policy.max_retries:
                         record["status"] = "failover"
+                        self._emit(events.LEG_EXHAUSTED, plan, site=site_id)
                         return
                     attempts += 1
                     record["retries"] += 1
+                    self._emit(
+                        events.LEG_RETRY, plan, site=site_id,
+                        reason="queue-timeout", attempt=attempts,
+                    )
                     yield sim.timeout(policy.retry_backoff * attempts)
                     continue
             else:
                 yield request
             granted = sim.now
             record["wait"] = max(record["wait"], request.wait_time)
+            self._emit(
+                events.LEG_GRANTED, plan, site=site_id, wait=request.wait_time,
+            )
             service = minutes
             if faults is not None:
                 service += faults.leg_penalty(site_id, granted, minutes)
@@ -223,9 +265,14 @@ class PlanExecutor:
                     site.server.release(request)
                     if attempts >= policy.max_retries:
                         record["status"] = "failover"
+                        self._emit(events.LEG_EXHAUSTED, plan, site=site_id)
                         return
                     attempts += 1
                     record["retries"] += 1
+                    self._emit(
+                        events.LEG_RETRY, plan, site=site_id,
+                        reason="interrupted", attempt=attempts,
+                    )
                     up = faults.site_up_after(site_id, sim.now)
                     yield sim.timeout(
                         max(0.0, up - sim.now) + policy.retry_backoff * attempts
@@ -237,6 +284,7 @@ class PlanExecutor:
                 site.server.release(request)
             record["freshness"] = granted  # base data is as-of leg start
             record["status"] = "ok"
+            self._emit(events.LEG_DONE, plan, site=site_id, freshness=granted)
             return
 
     def _failover_plan(
@@ -271,6 +319,42 @@ class PlanExecutor:
         except PlanError:
             return None
 
+    def _finish(
+        self, outcome: QueryOutcome, versions: tuple[VersionProvenance, ...]
+    ) -> QueryOutcome:
+        """Record the outcome and, when auditing, its ledger entry."""
+        self.outcomes.append(outcome)
+        if self.audit:
+            plan = outcome.plan
+            entry = IVLedgerEntry(
+                query=plan.query.name,
+                query_id=plan.query.query_id,
+                business_value=plan.query.business_value,
+                lambda_cl=plan.rates.computational,
+                lambda_sl=plan.rates.synchronization,
+                submitted_at=outcome.submitted_at,
+                started_at=outcome.started_at,
+                remote_done_at=outcome.remote_done_at,
+                local_granted_at=outcome.local_granted_at,
+                local_done_at=outcome.local_done_at,
+                completed_at=outcome.completed_at,
+                data_timestamp=outcome.data_timestamp,
+                queue_wait=outcome.queue_wait,
+                remote_wait=outcome.remote_wait,
+                retries=outcome.retries,
+                failovers=outcome.failovers,
+                degraded=outcome.degraded,
+                failed=outcome.failed,
+                reported_iv=outcome.information_value,
+                versions=versions,
+            )
+            self.ledger.append(entry)
+            if self.tracer is not None:
+                # The ledger detail is exactly ``entry.to_dict()`` (no qid
+                # key) so the checker can round-trip it via ``from_dict``.
+                self.tracer.emit(events.LEDGER, plan.query.name, **entry.to_dict())
+        return outcome
+
     def _run(self, plan: QueryPlan):
         sim = self.sim
         submitted_at = plan.submitted_at
@@ -278,6 +362,7 @@ class PlanExecutor:
         if plan.start_time > sim.now:
             yield sim.timeout(plan.start_time - sim.now)
         started_at = sim.now
+        self._emit(events.EXEC_START, plan, scheduled=plan.start_time)
 
         # Remote legs run in parallel on their sites; a site whose leg
         # exhausts its retries triggers a failover re-plan, and legs that
@@ -304,7 +389,7 @@ class PlanExecutor:
                 records.append(record)
                 legs.append(
                     sim.process(
-                        self._remote_leg(site_id, minutes, record),
+                        self._remote_leg(current, site_id, minutes, record),
                         name=f"leg:{current.query.name}@{site_id}",
                     )
                 )
@@ -323,14 +408,19 @@ class PlanExecutor:
                 failed = True
                 break
             failovers += 1
+            self._emit(events.FAILOVER, current, lost=sorted(lost))
             current = replacement
 
         if failed:
+            completed_at = sim.now
+            self._emit(
+                events.FAILED, current, retries=retries, failovers=failovers,
+            )
             outcome = QueryOutcome(
                 plan=current,
                 submitted_at=submitted_at,
                 started_at=started_at,
-                completed_at=sim.now,
+                completed_at=completed_at,
                 data_timestamp=started_at,
                 queue_wait=0.0,
                 remote_wait=remote_wait,
@@ -338,19 +428,30 @@ class PlanExecutor:
                 failovers=failovers,
                 degraded=True,
                 failed=True,
+                remote_done_at=completed_at,
+                local_granted_at=completed_at,
+                local_done_at=completed_at,
             )
-            self.outcomes.append(outcome)
-            return outcome
+            return self._finish(outcome, ())
 
-        # Local assembly / replica scans at the federation server.
+        remote_done_at = sim.now
+        self._emit(events.REMOTE_DONE, current, legs=len(completed))
+
+        # Local assembly / replica scans at the federation server.  The
+        # request is opened at the remote-done instant, so its wait time is
+        # exactly ``local_granted_at − remote_done_at`` — the ledger's
+        # queue-wait invariant holds bit-for-bit.
         local = self.site(LOCAL_SITE_ID)
         request = local.server.request()
         yield request
         local_start = sim.now
+        self._emit(events.LOCAL_GRANTED, current, wait=request.wait_time)
         try:
             yield sim.timeout(current.cost.local_minutes)
         finally:
             local.server.release(request)
+        local_done_at = sim.now
+        self._emit(events.LOCAL_DONE, current)
 
         if current.cost.transmission > 0:
             yield sim.timeout(current.cost.transmission)
@@ -360,15 +461,37 @@ class PlanExecutor:
         # leg's actual start; replicas hold whatever synchronizations have
         # actually been applied by local processing start.
         freshness: list[float] = []
+        provenance: list[VersionProvenance] = []
         for version in current.versions:
             if version.kind is VersionKind.BASE:
-                record = completed.get(self.catalog.table(version.table).site)
-                freshness.append(
+                site_id = self.catalog.table(version.table).site
+                record = completed.get(site_id)
+                realized = (
                     record["freshness"] if record is not None else version.freshness
                 )
+                freshness.append(realized)
+                if self.audit:
+                    provenance.append(VersionProvenance(
+                        table=version.table,
+                        kind="base",
+                        site=site_id,
+                        planned_freshness=version.freshness,
+                        realized_freshness=realized,
+                        last_sync_at=None,
+                    ))
             else:
                 replica = self.catalog.replica(version.table)
-                freshness.append(replica.realized_freshness_at(local_start))
+                realized = replica.realized_freshness_at(local_start)
+                freshness.append(realized)
+                if self.audit:
+                    provenance.append(VersionProvenance(
+                        table=version.table,
+                        kind="replica",
+                        site=None,
+                        planned_freshness=version.freshness,
+                        realized_freshness=realized,
+                        last_sync_at=realized,
+                    ))
 
         data_timestamp = min(freshness) if freshness else started_at
         outcome = QueryOutcome(
@@ -384,6 +507,14 @@ class PlanExecutor:
             retries=retries,
             failovers=failovers,
             degraded=retries > 0 or failovers > 0,
+            remote_done_at=remote_done_at,
+            local_granted_at=local_start,
+            local_done_at=local_done_at,
         )
-        self.outcomes.append(outcome)
-        return outcome
+        self._emit(
+            events.COMPLETE, current,
+            iv=outcome.information_value,
+            cl=outcome.computational_latency,
+            sl=outcome.synchronization_latency,
+        )
+        return self._finish(outcome, tuple(provenance))

@@ -33,6 +33,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs import events
 from repro.sim.faults import OutageTimeline, Window, generate_outage_windows
 from repro.sim.rng import RandomSource
 
@@ -41,6 +42,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.network import NetworkModel
     from repro.federation.site import Site
     from repro.sim.scheduler import Simulator
+    from repro.sim.trace import Tracer
 
 __all__ = [
     "SYNC_OK",
@@ -305,13 +307,25 @@ class FaultInjector:
         plan: FaultPlan,
         sites: Mapping[int, "Site"] | None = None,
         network: "NetworkModel | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.sim = sim
         self.plan = plan
         self.sites = dict(sites or {})
         self.network = network
+        self.tracer = tracer
         self.stats = FaultStats()
         self._started = False
+
+    def _flip(self, site: "Site", available: bool, window: Window) -> None:
+        site.set_available(available)
+        if self.tracer is not None:
+            self.tracer.emit(
+                events.FAULT_UP if available else events.FAULT_DOWN,
+                f"site:{site.site_id}",
+                window_start=window.start,
+                window_end=window.end,
+            )
 
     def start(self) -> None:
         """Schedule site availability flips at outage edges (idempotent)."""
@@ -328,13 +342,15 @@ class FaultInjector:
                     continue
                 if window.start >= now:
                     self.sim.call_at(
-                        window.start, lambda s=site: s.set_available(False)
+                        window.start,
+                        lambda s=site, w=window: self._flip(s, False, w),
                     )
                 elif window.contains(now):
-                    site.set_available(False)
+                    self._flip(site, False, window)
                 if window.end >= now:
                     self.sim.call_at(
-                        window.end, lambda s=site: s.set_available(True)
+                        window.end,
+                        lambda s=site, w=window: self._flip(s, True, w),
                     )
 
     # -- executor-facing ---------------------------------------------------

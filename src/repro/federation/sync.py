@@ -32,9 +32,11 @@ from repro.federation.catalog import (
     SyncSchedule,
 )
 from repro.federation.faults import SYNC_DELAY, SYNC_SKIP
+from repro.obs import events
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.faults import FaultInjector
+    from repro.sim.trace import Tracer
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RandomSource
 from repro.sim.scheduler import Simulator
@@ -138,6 +140,7 @@ class ReplicationManager:
         catalog: Catalog,
         qos_max_staleness: float | None = None,
         injector: "FaultInjector | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if qos_max_staleness is not None and qos_max_staleness <= 0:
             raise ConfigError("qos_max_staleness must be > 0")
@@ -145,7 +148,12 @@ class ReplicationManager:
         self.catalog = catalog
         self.qos_max_staleness = qos_max_staleness
         self.injector = injector
-        self.staleness = Monitor("replica-staleness-at-sync")
+        self.tracer = tracer
+        # Bounded retention: long runs sync thousands of times, and the
+        # raw gap samples are only needed for percentiles/diagnostics.
+        self.staleness = Monitor(
+            "replica-staleness-at-sync", keep_values=True, cap=4096
+        )
         self.qos_violations = 0
         self.total_syncs = 0
         self.syncs_skipped = 0
@@ -195,9 +203,18 @@ class ReplicationManager:
                 kind, delay = self.injector.sync_disposition(replica, completion)
                 if kind == SYNC_SKIP:
                     self.syncs_skipped += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            events.SYNC_SKIP, replica.name, scheduled=completion
+                        )
                     continue
                 if kind == SYNC_DELAY and delay > 0.0:
                     self.syncs_delayed += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            events.SYNC_DELAY, replica.name,
+                            scheduled=completion, delay=delay,
+                        )
                     yield self.sim.timeout(delay)
             applied_at = max(completion, self.sim.now)
             self._on_sync(replica, applied_at, previous)
@@ -213,5 +230,7 @@ class ReplicationManager:
             replica.record_applied_sync(now)
         if self.qos_max_staleness is not None and gap > self.qos_max_staleness:
             self.qos_violations += 1
+        if self.tracer is not None:
+            self.tracer.emit(events.SYNC_APPLY, replica.name, at=now, gap=gap)
         for listener in self._listeners:
             listener(replica, now)

@@ -120,6 +120,7 @@ class FederatedSystem:
             policy=policy,
             faults=injector,
             cost_provider=cost_model,
+            tracer=tracer,
         )
         self.iv_monitor = Monitor("information-value")
         self.cl_monitor = Monitor("computational-latency")
@@ -127,11 +128,9 @@ class FederatedSystem:
         self.tracer = tracer
         self._submitted = 0
         if tracer is not None:
-            replication.add_listener(
-                lambda replica, now: tracer.emit(
-                    "sync", replica.name, at=round(now, 4)
-                )
-            )
+            replication.tracer = tracer
+            if injector is not None:
+                injector.tracer = tracer
 
     # -- operations ----------------------------------------------------------
 
@@ -150,26 +149,24 @@ class FederatedSystem:
         if when > self.sim.now:
             yield self.sim.timeout(when - self.sim.now)
         if self.tracer is not None:
-            self.tracer.emit("submit", query.name)
+            self.tracer.emit("submit", query.name, qid=query.query_id)
         plan = self.router.choose_plan(query, self.sim.now)
         if self.tracer is not None:
+            # Exact (unrounded) estimates: the trace is an audit record, and
+            # the checker compares event details to the ledger bit-for-bit.
             self.tracer.emit(
                 "plan", query.name,
+                qid=query.query_id,
                 remote=",".join(sorted(plan.remote_tables)) or "-",
-                start=round(plan.start_time, 4),
-                est_iv=round(plan.information_value, 4),
+                start=plan.start_time,
+                est_iv=plan.information_value,
             )
+        # Execution events (exec.start … complete/failed + ledger) are
+        # emitted by the executor, which owns the phase timestamps.
         outcome = yield self.executor.execute(plan)
         self.iv_monitor.observe(outcome.information_value)
         self.cl_monitor.observe(outcome.computational_latency)
         self.sl_monitor.observe(outcome.synchronization_latency)
-        if self.tracer is not None:
-            self.tracer.emit(
-                "complete", query.name,
-                cl=round(outcome.computational_latency, 4),
-                sl=round(outcome.synchronization_latency, 4),
-                iv=round(outcome.information_value, 4),
-            )
 
     def submit_workload(self, workload) -> None:
         """Submit every query of a workload at its arrival time."""
@@ -195,6 +192,7 @@ class FederatedSystem:
             self.rates,
             ga_config=ga_config,
             seed=seed,
+            tracer=self.tracer,
         )
         decision = scheduler.schedule(workload)
         self.router = ReplayRouter.from_assignments(
@@ -234,6 +232,17 @@ class FederatedSystem:
     def outcomes(self) -> list[QueryOutcome]:
         """All completed query outcomes, in completion order."""
         return self.executor.outcomes
+
+    @property
+    def ledger(self):
+        """The IV audit ledger (empty unless built with ``trace=True``)."""
+        return self.executor.ledger
+
+    def metrics(self):
+        """Unified metrics registry snapshot of this system's statistics."""
+        from repro.obs.metrics import registry_from_system
+
+        return registry_from_system(self)
 
     @property
     def mean_information_value(self) -> float:

@@ -30,8 +30,10 @@ from repro.mqo.evaluator import (
     WorkloadEvaluator,
 )
 from repro.mqo.ga import GAConfig, GAResult, GeneticAlgorithm
+from repro.obs import events
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import Tracer
     from repro.workload.query import Workload
 
 __all__ = ["ScheduleDecision", "WorkloadScheduler"]
@@ -69,6 +71,7 @@ class WorkloadScheduler:
         ga_config: GAConfig | None = None,
         seed: int = 0,
         max_candidates: int = 64,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.catalog = catalog
         self.cost_provider = cost_provider
@@ -76,6 +79,7 @@ class WorkloadScheduler:
         self.ga_config = ga_config or GAConfig()
         self.seed = seed
         self.max_candidates = max_candidates
+        self.tracer = tracer
 
     def _evaluator(self, workload: "Workload") -> WorkloadEvaluator:
         return WorkloadEvaluator(
@@ -95,6 +99,12 @@ class WorkloadScheduler:
         evaluator = self._evaluator(workload)
         ranges = execution_ranges(evaluator)
         groups = conflict_groups(ranges)
+        if self.tracer is not None:
+            self.tracer.emit(
+                events.MQO_GROUPS, "workload",
+                groups=len(groups),
+                sizes=[len(group) for group in groups],
+            )
 
         arrival_order = [
             query.query_id for query in workload.sorted_by_arrival()
@@ -116,6 +126,13 @@ class WorkloadScheduler:
             outcome = ga.run(seed_chromosomes=[seed_order])
             ga_results.append(outcome)
             group_orders[index] = outcome.best
+            if self.tracer is not None:
+                self.tracer.emit(
+                    events.MQO_GA, f"group:{index}",
+                    best_fitness=outcome.best_fitness,
+                    generations=outcome.generations_run,
+                    order=list(outcome.best),
+                )
 
         # Groups are disjoint in time; realize them in start order.
         ordered_groups = sorted(
@@ -128,6 +145,12 @@ class WorkloadScheduler:
         for index in ordered_groups:
             permutation.extend(group_orders[index])
         result = evaluator.evaluate(permutation)
+        if self.tracer is not None:
+            self.tracer.emit(
+                events.MQO_ORDER, "workload",
+                permutation=list(permutation),
+                total_iv=result.total_information_value,
+            )
         return ScheduleDecision(
             result=result,
             permutation=permutation,

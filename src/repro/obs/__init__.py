@@ -1,0 +1,62 @@
+"""End-to-end observability for the federated DSS runtime.
+
+Three pillars, all built on the :mod:`repro.sim.trace` substrate:
+
+* **query lifecycle spans** (:mod:`repro.obs.events`,
+  :mod:`repro.obs.spans`) — every query's path through the system as a
+  typed, causally-ordered event stream, assembled into span trees;
+* the **IV audit ledger** (:mod:`repro.obs.ledger`) — the exact CL
+  decomposition and SL provenance behind every reported information
+  value, recomputable bit-identically;
+* the **metrics registry** (:mod:`repro.obs.metrics`) — counters, gauges
+  and histograms unifying the runtime's scattered statistics.
+
+:mod:`repro.obs.export` serializes traces (JSONL, chrome://tracing) and
+:mod:`repro.obs.checker` turns any trace into a self-audit:
+``TraceChecker().check(records) == []`` is the system-wide invariant the
+test harness locks down.
+"""
+
+from repro.obs import events
+from repro.obs.checker import TraceChecker, Violation
+from repro.obs.export import (
+    from_jsonl,
+    ledger_from_records,
+    normalize,
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.obs.ledger import IVLedgerEntry, VersionProvenance
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_from_system,
+)
+from repro.obs.spans import Span, build_query_spans, render_span
+
+__all__ = [
+    "events",
+    "TraceChecker",
+    "Violation",
+    "IVLedgerEntry",
+    "VersionProvenance",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry_from_system",
+    "Span",
+    "build_query_spans",
+    "render_span",
+    "to_jsonl",
+    "from_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "normalize",
+    "to_chrome_trace",
+    "ledger_from_records",
+]

@@ -1,0 +1,384 @@
+"""Trace invariant checking: replay any emitted trace and audit it.
+
+:class:`TraceChecker` consumes a list of :class:`~repro.sim.trace.TraceRecord`
+(live from a tracer or re-read from JSONL) and verifies, per query:
+
+* **causal ordering** — lifecycle events appear in the only legal order
+  (submit → plan → exec.start → leg events → remote.done → local.granted →
+  local.done → complete), legs are granted before they finish, and global
+  record time never decreases;
+* **latency conservation** — the ledger's five phases sum to the reported
+  CL (up to float telescoping), the local queue wait matches its
+  timestamps, and the complete event agrees with the ledger bit-for-bit;
+* **IV-ledger consistency** — recomputing IV from the audit ledger
+  reproduces the reported IV **bit-identically**, SL equals the gap to the
+  stalest realized version, and failed queries report IV 0.
+
+Every failure is a :class:`Violation` naming the rule, the subject and
+what went wrong; an empty list is the pass condition the regression and
+property suites assert on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.obs import events
+from repro.obs.ledger import CONSERVATION_TOLERANCE, IVLedgerEntry
+from repro.sim.trace import TraceRecord
+
+__all__ = ["Violation", "TraceChecker"]
+
+#: Causal rank of each lifecycle kind; equal ranks may interleave freely.
+_RANK = {
+    events.SUBMIT: 0,
+    events.PLAN: 1,
+    events.EXEC_START: 2,
+    events.LEG_START: 3,
+    events.LEG_BLOCKED: 3,
+    events.LEG_GRANTED: 3,
+    events.LEG_RETRY: 3,
+    events.LEG_DONE: 3,
+    events.LEG_EXHAUSTED: 3,
+    events.FAILOVER: 3,
+    events.REMOTE_DONE: 4,
+    events.LOCAL_GRANTED: 5,
+    events.LOCAL_DONE: 6,
+    events.COMPLETE: 7,
+    events.FAILED: 7,
+    events.LEDGER: 8,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    rule: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.message}"
+
+
+class TraceChecker:
+    """Replays a trace and reports every invariant violation.
+
+    Parameters
+    ----------
+    tolerance:
+        Relative tolerance for phase-sum conservation (float telescoping);
+        identity checks (IV recomputation, event/ledger agreement) are
+        exact.
+    require_complete:
+        Whether a query that was submitted must also have completed within
+        the trace — disable when checking a deliberately truncated window.
+    """
+
+    def __init__(
+        self,
+        tolerance: float = CONSERVATION_TOLERANCE,
+        require_complete: bool = True,
+    ) -> None:
+        if tolerance < 0:
+            raise SimulationError("tolerance must be >= 0")
+        self.tolerance = tolerance
+        self.require_complete = require_complete
+
+    # -- entry points ----------------------------------------------------------
+
+    def check(self, records: Sequence[TraceRecord]) -> list[Violation]:
+        """Audit a trace; returns all violations (empty = clean)."""
+        violations: list[Violation] = []
+        self._check_global_order(records, violations)
+        lifecycles, ledgers = self._group(records, violations)
+        for qid, query_records in sorted(lifecycles.items()):
+            self._check_lifecycle(qid, query_records, violations)
+        for qid, entry in sorted(ledgers.items()):
+            self._check_ledger(entry, lifecycles.get(qid, []), violations)
+        self._check_completeness(lifecycles, ledgers, violations)
+        self._check_faults(records, violations)
+        return violations
+
+    def check_system(self, system) -> list[Violation]:
+        """Audit a live :class:`~repro.federation.system.FederatedSystem`."""
+        if system.tracer is None:
+            raise SimulationError(
+                "system has no tracer (build it with SystemConfig(trace=True))"
+            )
+        return self.check(system.tracer.records)
+
+    def assert_clean(self, records: Sequence[TraceRecord]) -> None:
+        """Raise :class:`SimulationError` listing violations, if any."""
+        violations = self.check(records)
+        if violations:
+            listing = "\n".join(str(violation) for violation in violations)
+            raise SimulationError(
+                f"trace failed {len(violations)} invariant check(s):\n{listing}"
+            )
+
+    # -- grouping -----------------------------------------------------------
+
+    def _group(
+        self, records: Sequence[TraceRecord], violations: list[Violation]
+    ) -> tuple[dict[int, list[TraceRecord]], dict[int, IVLedgerEntry]]:
+        lifecycles: dict[int, list[TraceRecord]] = defaultdict(list)
+        ledgers: dict[int, IVLedgerEntry] = {}
+        for record in records:
+            if record.kind not in events.QUERY_LIFECYCLE_KINDS:
+                continue
+            if record.kind == events.LEDGER:
+                try:
+                    entry = IVLedgerEntry.from_dict(record.detail)
+                except (KeyError, TypeError):
+                    violations.append(Violation(
+                        "ledger-well-formed", record.subject,
+                        "ledger record is missing required fields",
+                    ))
+                    continue
+                if entry.query_id in ledgers:
+                    violations.append(Violation(
+                        "ledger-unique", record.subject,
+                        f"duplicate ledger entry for qid {entry.query_id}",
+                    ))
+                ledgers[entry.query_id] = entry
+                lifecycles[entry.query_id].append(record)
+                continue
+            qid = record.detail.get("qid")
+            if qid is None:
+                violations.append(Violation(
+                    "qid-present", record.subject,
+                    f"lifecycle event {record.kind!r} lacks a qid",
+                ))
+                continue
+            lifecycles[qid].append(record)
+        return dict(lifecycles), ledgers
+
+    # -- rules ------------------------------------------------------------------
+
+    def _check_global_order(
+        self, records: Sequence[TraceRecord], violations: list[Violation]
+    ) -> None:
+        last = None
+        for record in records:
+            if last is not None and record.time < last:
+                violations.append(Violation(
+                    "time-monotonic", record.subject,
+                    f"record at {record.time} after {last}",
+                ))
+            last = record.time
+
+    def _check_lifecycle(
+        self,
+        qid: int,
+        records: list[TraceRecord],
+        violations: list[Violation],
+    ) -> None:
+        subject = records[0].subject if records else f"qid:{qid}"
+        last_rank = -1
+        last_kind = None
+        counts: dict[str, int] = defaultdict(int)
+        site_granted: dict[int, int] = defaultdict(int)
+        site_started: dict[int, int] = defaultdict(int)
+        for record in records:
+            rank = _RANK[record.kind]
+            counts[record.kind] += 1
+            if rank < last_rank:
+                violations.append(Violation(
+                    "causal-order", subject,
+                    f"{record.kind!r} (qid {qid}) after {last_kind!r}",
+                ))
+            last_rank = max(last_rank, rank)
+            last_kind = record.kind
+            site = record.detail.get("site")
+            if record.kind == events.LEG_START and site is not None:
+                site_started[site] += 1
+            elif record.kind == events.LEG_GRANTED and site is not None:
+                if site_started[site] == 0:
+                    violations.append(Violation(
+                        "leg-order", subject,
+                        f"leg granted at site {site} before any leg.start",
+                    ))
+                site_granted[site] += 1
+            elif record.kind == events.LEG_DONE and site is not None:
+                if site_granted[site] == 0:
+                    violations.append(Violation(
+                        "leg-order", subject,
+                        f"leg done at site {site} before any grant",
+                    ))
+        for kind in (events.SUBMIT, events.PLAN, events.COMPLETE, events.FAILED):
+            if counts[kind] > 1:
+                violations.append(Violation(
+                    "event-unique", subject,
+                    f"{counts[kind]} {kind!r} events for qid {qid}",
+                ))
+        if counts[events.COMPLETE] and counts[events.FAILED]:
+            violations.append(Violation(
+                "event-unique", subject,
+                f"qid {qid} both completed and failed",
+            ))
+
+    def _check_ledger(
+        self,
+        entry: IVLedgerEntry,
+        records: list[TraceRecord],
+        violations: list[Violation],
+    ) -> None:
+        subject = f"{entry.query}#{entry.query_id}"
+
+        # IV-ledger consistency: the headline bit-identity invariant.
+        recomputed = entry.recompute_iv()
+        if recomputed != entry.reported_iv:
+            violations.append(Violation(
+                "iv-recompute", subject,
+                f"ledger recomputes IV {recomputed!r} but the run reported "
+                f"{entry.reported_iv!r}",
+            ))
+        if entry.failed and entry.reported_iv != 0.0:
+            violations.append(Violation(
+                "iv-failed-zero", subject,
+                f"failed query reported IV {entry.reported_iv!r}",
+            ))
+
+        # Timestamps delimit the phases in order.
+        stamps = [
+            ("submitted_at", entry.submitted_at),
+            ("started_at", entry.started_at),
+            ("remote_done_at", entry.remote_done_at),
+            ("local_granted_at", entry.local_granted_at),
+            ("local_done_at", entry.local_done_at),
+            ("completed_at", entry.completed_at),
+        ]
+        for (earlier, t0), (later, t1) in zip(stamps, stamps[1:]):
+            if t1 < t0:
+                violations.append(Violation(
+                    "phase-order", subject, f"{later} {t1} before {earlier} {t0}",
+                ))
+
+        cl = entry.computational_latency
+        if not entry.failed:
+            # Latency conservation: phases must sum back to CL.
+            drift = abs(cl - entry.phase_sum)
+            if drift > self.tolerance * max(1.0, abs(cl)):
+                violations.append(Violation(
+                    "cl-conservation", subject,
+                    f"CL {cl!r} != phase sum {entry.phase_sum!r} "
+                    f"(drift {drift:.3e})",
+                ))
+            queue_span = entry.local_granted_at - entry.remote_done_at
+            if abs(entry.queue_wait - queue_span) > self.tolerance * max(
+                1.0, abs(queue_span)
+            ):
+                violations.append(Violation(
+                    "queue-wait", subject,
+                    f"queue_wait {entry.queue_wait!r} but timestamps span "
+                    f"{queue_span!r}",
+                ))
+
+        # SL provenance: the stalest realized version decides SL.
+        if entry.versions:
+            stalest = min(
+                version.realized_freshness for version in entry.versions
+            )
+            if entry.data_timestamp != stalest:
+                violations.append(Violation(
+                    "sl-provenance", subject,
+                    f"data_timestamp {entry.data_timestamp!r} != stalest "
+                    f"realized freshness {stalest!r}",
+                ))
+            for version in entry.versions:
+                if version.kind not in ("base", "replica"):
+                    violations.append(Violation(
+                        "sl-provenance", subject,
+                        f"{version.table}: unknown version kind {version.kind!r}",
+                    ))
+                if version.realized_freshness > entry.completed_at:
+                    violations.append(Violation(
+                        "sl-provenance", subject,
+                        f"{version.table}: realized freshness "
+                        f"{version.realized_freshness!r} after completion",
+                    ))
+                if (
+                    version.kind == "replica"
+                    and version.last_sync_at is not None
+                    and version.last_sync_at != version.realized_freshness
+                ):
+                    violations.append(Violation(
+                        "sl-provenance", subject,
+                        f"{version.table}: last_sync_at disagrees with "
+                        f"realized freshness",
+                    ))
+
+        # The event stream and the ledger must tell the same story.
+        by_kind = {record.kind: record for record in records}
+        submit = by_kind.get(events.SUBMIT)
+        if submit is not None and submit.time != entry.submitted_at:
+            violations.append(Violation(
+                "event-ledger-agree", subject,
+                f"submit event at {submit.time!r} but ledger says "
+                f"{entry.submitted_at!r}",
+            ))
+        complete = by_kind.get(events.COMPLETE)
+        if complete is not None:
+            if complete.time != entry.completed_at:
+                violations.append(Violation(
+                    "event-ledger-agree", subject,
+                    f"complete event at {complete.time!r} but ledger says "
+                    f"{entry.completed_at!r}",
+                ))
+            for key, expected in (
+                ("iv", entry.reported_iv),
+                ("cl", cl),
+                ("sl", entry.synchronization_latency),
+            ):
+                observed = complete.detail.get(key)
+                if observed is not None and observed != expected:
+                    violations.append(Violation(
+                        "event-ledger-agree", subject,
+                        f"complete event {key}={observed!r} but ledger "
+                        f"implies {expected!r}",
+                    ))
+
+    def _check_completeness(
+        self,
+        lifecycles: dict[int, list[TraceRecord]],
+        ledgers: dict[int, IVLedgerEntry],
+        violations: list[Violation],
+    ) -> None:
+        if not self.require_complete:
+            return
+        for qid, records in sorted(lifecycles.items()):
+            kinds = {record.kind for record in records}
+            subject = records[0].subject
+            if events.SUBMIT in kinds and not (
+                {events.COMPLETE, events.FAILED} & kinds
+            ):
+                violations.append(Violation(
+                    "query-completes", subject,
+                    f"qid {qid} was submitted but never completed or failed",
+                ))
+            if events.EXEC_START in kinds and qid not in ledgers:
+                violations.append(Violation(
+                    "ledger-present", subject,
+                    f"qid {qid} executed without an audit ledger entry",
+                ))
+
+    def _check_faults(
+        self, records: Sequence[TraceRecord], violations: list[Violation]
+    ) -> None:
+        # Outage edges must alternate down/up per site.
+        state: dict[str, str] = {}
+        for record in records:
+            if record.kind not in (events.FAULT_DOWN, events.FAULT_UP):
+                continue
+            previous = state.get(record.subject)
+            if previous == record.kind:
+                violations.append(Violation(
+                    "fault-alternation", record.subject,
+                    f"consecutive {record.kind!r} events",
+                ))
+            state[record.subject] = record.kind

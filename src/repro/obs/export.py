@@ -1,0 +1,227 @@
+"""Trace exporters: JSONL (lossless) and chrome://tracing (visual).
+
+JSONL is the audit format: one JSON object per record, floats encoded via
+``repr`` so they round-trip bit-identically — :func:`from_jsonl` followed
+by :func:`to_jsonl` is the identity, and a ledger read back from disk
+recomputes the same IVs it was written with.  The chrome format
+(``trace_event``, loadable in ``chrome://tracing`` or Perfetto) renders
+each query as a row of duration slices (remote phase, local queue,
+processing, transfer) with syncs and faults as instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.obs import events
+from repro.obs.ledger import IVLedgerEntry
+from repro.sim.trace import TraceRecord
+
+__all__ = [
+    "record_to_dict",
+    "record_from_dict",
+    "to_jsonl",
+    "from_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "normalize",
+    "to_chrome_trace",
+    "ledger_from_records",
+]
+
+#: Simulation minutes -> chrome trace microseconds.
+_MINUTES_TO_US = 60_000_000.0
+
+
+def record_to_dict(record: TraceRecord) -> dict:
+    """One record as a JSON-ready dict."""
+    return {
+        "time": record.time,
+        "kind": record.kind,
+        "subject": record.subject,
+        "detail": record.detail,
+    }
+
+
+def record_from_dict(data: dict) -> TraceRecord:
+    """Inverse of :func:`record_to_dict`."""
+    try:
+        return TraceRecord(
+            time=data["time"],
+            kind=data["kind"],
+            subject=data["subject"],
+            detail=dict(data.get("detail", {})),
+        )
+    except (KeyError, TypeError) as error:
+        raise SimulationError(f"malformed trace record: {data!r}") from error
+
+
+def to_jsonl(records: Iterable[TraceRecord]) -> str:
+    """Serialize records, one canonical JSON object per line."""
+    return "\n".join(
+        json.dumps(record_to_dict(record), sort_keys=True) for record in records
+    )
+
+
+def from_jsonl(text: str) -> list[TraceRecord]:
+    """Parse a JSONL trace back into records."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SimulationError(
+                f"trace line {line_number} is not valid JSON"
+            ) from error
+        records.append(record_from_dict(data))
+    return records
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str) -> None:
+    """Write a JSONL trace file."""
+    with open(path, "w") as handle:
+        handle.write(to_jsonl(records) + "\n")
+
+
+def read_jsonl(path: str) -> list[TraceRecord]:
+    """Read a JSONL trace file."""
+    with open(path) as handle:
+        return from_jsonl(handle.read())
+
+
+def normalize(records: Iterable[TraceRecord]) -> str:
+    """Canonical text form for golden-trace comparison.
+
+    Identical runs must produce identical strings: keys are sorted, floats
+    keep full ``repr`` precision (the simulation is deterministic, so any
+    drift here is a real behaviour change, which is the point of the
+    golden test).
+    """
+    return to_jsonl(records)
+
+
+def ledger_from_records(records: Iterable[TraceRecord]) -> list[IVLedgerEntry]:
+    """Extract the IV audit ledger embedded in a trace."""
+    return [
+        IVLedgerEntry.from_dict(record.detail)
+        for record in records
+        if record.kind == events.LEDGER
+    ]
+
+
+def _us(minutes: float) -> float:
+    return minutes * _MINUTES_TO_US
+
+
+def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
+    """Render a trace in the chrome ``trace_event`` JSON format.
+
+    Queries become one thread each (named after the query), with complete
+    ("X") slices for the ledger's phases; replicas and sites land on
+    dedicated threads as instant ("i") events.
+    """
+    trace_events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(label: str) -> int:
+        if label not in tids:
+            tid = len(tids) + 1
+            tids[label] = tid
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": label},
+            })
+        return tids[label]
+
+    for record in records:
+        if record.kind == events.LEDGER:
+            entry = IVLedgerEntry.from_dict(record.detail)
+            tid = tid_for(f"query {entry.query}#{entry.query_id}")
+            phases = [
+                ("scheduled-delay", entry.submitted_at, entry.scheduled_delay),
+                ("remote", entry.started_at, entry.remote_phase),
+                ("local-queue", entry.remote_done_at, entry.queue_wait),
+                ("processing", entry.local_granted_at, entry.processing),
+                ("transfer", entry.local_done_at, entry.transfer),
+            ]
+            for name, start, duration in phases:
+                if duration <= 0.0:
+                    continue
+                trace_events.append({
+                    "name": name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": _us(start),
+                    "dur": _us(duration),
+                    "cat": "query",
+                    "args": {"query": entry.query, "qid": entry.query_id},
+                })
+            trace_events.append({
+                "name": "iv",
+                "ph": "C",  # counter track: realized IV at completion
+                "pid": 1,
+                "tid": tid,
+                "ts": _us(entry.completed_at),
+                "args": {"iv": entry.reported_iv},
+            })
+        elif record.kind in (
+            events.SYNC_APPLY, events.SYNC_SKIP, events.SYNC_DELAY
+        ):
+            tid = tid_for(f"replica {record.subject}")
+            trace_events.append({
+                "name": record.kind,
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tid,
+                "ts": _us(record.time),
+                "cat": "sync",
+                "args": dict(record.detail),
+            })
+        elif record.kind in (events.FAULT_DOWN, events.FAULT_UP):
+            tid = tid_for(record.subject)
+            trace_events.append({
+                "name": record.kind,
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tid,
+                "ts": _us(record.time),
+                "cat": "fault",
+                "args": dict(record.detail),
+            })
+        elif record.kind in events.QUERY_LIFECYCLE_KINDS:
+            qid = record.detail.get("qid")
+            tid = tid_for(f"query {record.subject}#{qid}")
+            trace_events.append({
+                "name": record.kind,
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tid,
+                "ts": _us(record.time),
+                "cat": "lifecycle",
+                "args": dict(record.detail),
+            })
+        else:  # MQO / unknown producers: one shared control-plane thread
+            tid = tid_for("control-plane")
+            trace_events.append({
+                "name": f"{record.kind} {record.subject}",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": tid,
+                "ts": _us(record.time),
+                "cat": "control",
+                "args": dict(record.detail),
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

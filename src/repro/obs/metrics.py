@@ -1,0 +1,281 @@
+"""A unified metrics registry: counters, gauges, histograms.
+
+The runtime already measures plenty — :class:`~repro.sim.monitor.Monitor`
+aggregates, :class:`~repro.federation.faults.FaultStats` counters,
+:class:`~repro.mqo.evaluator.EvaluatorStats` fast-path instrumentation,
+the replication manager's sync tallies — but each behind its own ad-hoc
+attribute names.  :class:`MetricsRegistry` gives them one namespace and one
+JSON-ready snapshot, so an experiment can dump *everything it knows* in a
+single call (:func:`registry_from_system`), and dashboards/tests consume
+one stable format instead of five.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import typing
+from bisect import bisect_left
+from dataclasses import fields as dataclass_fields
+from dataclasses import is_dataclass
+
+from repro.errors import SimulationError
+from repro.sim.monitor import Monitor
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.system import FederatedSystem
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry_from_system",
+]
+
+#: Default histogram bucket upper bounds (minutes / IV units).
+DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise SimulationError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        """Current value."""
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        """Current value."""
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max (Prometheus-style).
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "minimum", "maximum")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise SimulationError(
+                f"histogram {name!r} needs sorted, non-empty bucket bounds"
+            )
+        self.name = name
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.sum += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def _bucket(self, value: float) -> int:
+        # First bound >= value; beyond the last bound -> overflow bucket.
+        return bisect_left(self.bounds, value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution estimate of the ``q``-quantile (0–1)."""
+        if not 0.0 <= q <= 1.0:
+            raise SimulationError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise SimulationError(f"quantile of empty histogram {self.name!r}")
+        target = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= target and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.maximum
+        return self.maximum
+
+    def snapshot(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise SimulationError(
+                    f"metric name {name!r} already registered with another type"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        self._claim(name, self._counters)
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        self._claim(name, self._gauges)
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        self._claim(name, self._histograms)
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    # -- adapters over the existing instrumentation ------------------------
+
+    def ingest_counters(self, prefix: str, stats: object) -> None:
+        """Register every numeric field of a stats dataclass as a counter.
+
+        Unifies :class:`~repro.federation.faults.FaultStats` and
+        :class:`~repro.mqo.evaluator.EvaluatorStats` (non-numeric fields
+        such as dict-valued diagnostics are skipped).
+        """
+        if not is_dataclass(stats):
+            raise SimulationError(f"{prefix!r}: ingest_counters needs a dataclass")
+        for spec in dataclass_fields(stats):
+            value = getattr(stats, spec.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            counter = self.counter(f"{prefix}.{spec.name}")
+            counter.value = 0.0
+            counter.inc(value)
+
+    def observe_monitor(self, prefix: str, monitor: Monitor) -> None:
+        """Publish a :class:`Monitor`'s aggregates as gauges."""
+        self.gauge(f"{prefix}.count").set(monitor.count)
+        self.gauge(f"{prefix}.mean").set(monitor.mean)
+        self.gauge(f"{prefix}.stddev").set(monitor.stddev)
+        if monitor.count:
+            self.gauge(f"{prefix}.min").set(monitor.minimum)
+            self.gauge(f"{prefix}.max").set(monitor.maximum)
+
+    # -- output -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of every registered metric."""
+        return {
+            "counters": {
+                name: counter.snapshot()
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.snapshot()
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def registry_from_system(system: "FederatedSystem") -> MetricsRegistry:
+    """Snapshot everything a :class:`FederatedSystem` run measured.
+
+    Unifies the IV/CL/SL monitors, per-outcome latency histograms, the
+    replication manager's sync tallies, fault-injector counters (when
+    faults were wired) and executor-level retry/failover totals under one
+    registry.
+    """
+    registry = MetricsRegistry()
+
+    registry.observe_monitor("query.iv", system.iv_monitor)
+    registry.observe_monitor("query.cl", system.cl_monitor)
+    registry.observe_monitor("query.sl", system.sl_monitor)
+
+    iv_hist = registry.histogram(
+        "query.iv.hist", bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    )
+    cl_hist = registry.histogram("query.cl.hist")
+    sl_hist = registry.histogram("query.sl.hist")
+    for outcome in system.outcomes:
+        iv_hist.observe(outcome.information_value)
+        cl_hist.observe(outcome.computational_latency)
+        sl_hist.observe(outcome.synchronization_latency)
+
+    registry.counter("query.completed").inc(len(system.outcomes))
+    registry.counter("query.failed").inc(system.failed_count)
+    registry.counter("query.degraded").inc(system.degraded_count)
+    registry.counter("query.retries").inc(system.total_retries)
+    registry.counter("query.failovers").inc(system.total_failovers)
+
+    replication = system.replication
+    registry.counter("sync.total").inc(replication.total_syncs)
+    registry.counter("sync.skipped").inc(replication.syncs_skipped)
+    registry.counter("sync.delayed").inc(replication.syncs_delayed)
+    registry.counter("sync.qos_violations").inc(replication.qos_violations)
+    registry.observe_monitor("sync.staleness", replication.staleness)
+
+    if system.fault_stats is not None:
+        registry.ingest_counters("faults", system.fault_stats)
+
+    if system.tracer is not None:
+        registry.counter("trace.records").inc(len(system.tracer))
+        registry.counter("trace.dropped").inc(system.tracer.dropped)
+
+    return registry

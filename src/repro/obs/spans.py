@@ -1,0 +1,142 @@
+"""Span trees: a query's lifecycle as nested timed intervals.
+
+A :class:`Span` is the familiar tracing primitive — name, start, end,
+children, attributes.  :func:`build_query_spans` assembles one root span
+per query from a trace: the root covers submission to completion, its
+children are the five CL phases from the IV audit ledger, and the remote
+phase nests one child span per remote leg (granted → done), reconstructed
+from the leg events.  The ASCII renderer answers "why did this query take
+so long?" at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.obs import events
+from repro.obs.ledger import IVLedgerEntry
+
+__all__ = ["Span", "build_query_spans", "render_span"]
+
+
+@dataclass
+class Span:
+    """One timed interval with nested children."""
+
+    name: str
+    start: float
+    end: float
+    children: list["Span"] = field(default_factory=list)
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Minutes covered by this span."""
+        return self.end - self.start
+
+    def walk(self) -> Iterable["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _leg_spans(
+    records: Sequence, qid: int
+) -> list[Span]:
+    """Reconstruct per-site leg spans (granted → done) for one query."""
+    spans: list[Span] = []
+    granted: dict[tuple[int, int], float] = {}  # (site, attempt) -> time
+    attempts: dict[int, int] = {}
+    for record in records:
+        if record.detail.get("qid") != qid:
+            continue
+        site = record.detail.get("site")
+        if site is None:
+            continue
+        if record.kind == events.LEG_GRANTED:
+            attempt = attempts.get(site, 0)
+            granted[(site, attempt)] = record.time
+        elif record.kind == events.LEG_RETRY:
+            attempts[site] = attempts.get(site, 0) + 1
+        elif record.kind == events.LEG_DONE:
+            attempt = attempts.get(site, 0)
+            start = granted.get((site, attempt), record.time)
+            spans.append(Span(
+                name=f"leg@site{site}",
+                start=start,
+                end=record.time,
+                attrs={
+                    "site": site,
+                    "attempts": attempt + 1,
+                    "freshness": record.detail.get("freshness"),
+                },
+            ))
+    return spans
+
+
+def build_query_spans(records: Sequence) -> list[Span]:
+    """One root span per query, built from a trace's ledger + leg events.
+
+    Queries whose ledger entry is missing (trace truncated by capacity)
+    are skipped — a span tree without its timestamps would be guesswork.
+    """
+    spans: list[Span] = []
+    for record in records:
+        if record.kind != events.LEDGER:
+            continue
+        entry = IVLedgerEntry.from_dict(record.detail)
+        root = Span(
+            name=f"{entry.query}#{entry.query_id}",
+            start=entry.submitted_at,
+            end=entry.completed_at,
+            attrs={
+                "iv": entry.reported_iv,
+                "cl": entry.computational_latency,
+                "sl": entry.synchronization_latency,
+                "failed": entry.failed,
+                "degraded": entry.degraded,
+            },
+        )
+        if entry.scheduled_delay > 0.0:
+            root.children.append(Span(
+                "scheduled-delay", entry.submitted_at, entry.started_at
+            ))
+        remote = Span("remote", entry.started_at, entry.remote_done_at)
+        remote.children.extend(_leg_spans(records, entry.query_id))
+        if remote.duration > 0.0 or remote.children:
+            root.children.append(remote)
+        if not entry.failed:
+            if entry.queue_wait > 0.0:
+                root.children.append(Span(
+                    "local-queue", entry.remote_done_at, entry.local_granted_at
+                ))
+            root.children.append(Span(
+                "processing", entry.local_granted_at, entry.local_done_at
+            ))
+            if entry.transfer > 0.0:
+                root.children.append(Span(
+                    "transfer", entry.local_done_at, entry.completed_at
+                ))
+        spans.append(root)
+    return spans
+
+
+def render_span(span: Span, indent: int = 0) -> str:
+    """ASCII rendering of a span tree (one line per span)."""
+    pad = "  " * indent
+    extras = " ".join(
+        f"{key}={value}" for key, value in sorted(span.attrs.items())
+        if value is not None
+    )
+    line = (
+        f"{pad}{span.name:<18} [{span.start:10.4f} → {span.end:10.4f}] "
+        f"({span.duration:8.4f} min)"
+    )
+    if extras:
+        line = f"{line} {extras}"
+    lines = [line]
+    for child in span.children:
+        lines.append(render_span(child, indent + 1))
+    return "\n".join(lines)

@@ -35,7 +35,16 @@ class TraceRecord:
 
 
 class Tracer:
-    """An append-only, time-ordered log of simulation events."""
+    """An append-only, time-ordered log of simulation events.
+
+    Records are strictly time-ordered: :meth:`emit` raises
+    :class:`~repro.errors.SimulationError` if the clock ever runs backwards
+    (equal timestamps are fine — many events share a simulation instant).
+    With a ``capacity``, the log is a sliding window over the most recent
+    events: once full, each new record evicts the **oldest** retained one
+    (drop-oldest, never drop-newest), and :attr:`dropped` counts the
+    evictions.
+    """
 
     def __init__(self, clock: Callable[[], float], capacity: int | None = None) -> None:
         """``clock`` supplies timestamps (usually ``lambda: sim.now``).
@@ -49,17 +58,28 @@ class Tracer:
         self._capacity = capacity
         self._records: list[TraceRecord] = []
         self._dropped = 0
+        self._last_time: float | None = None
         self.enabled = True
 
     # -- producing ---------------------------------------------------------
 
     def emit(self, kind: str, subject: str, **detail) -> None:
-        """Record one event at the current simulation time."""
+        """Record one event at the current simulation time.
+
+        Raises :class:`SimulationError` when the clock reports a time
+        earlier than the previous record's — traces must stay causally
+        orderable even when producers misbehave.
+        """
         if not self.enabled:
             return
-        self._records.append(
-            TraceRecord(self._clock(), kind, subject, dict(detail))
-        )
+        now = self._clock()
+        if self._last_time is not None and now < self._last_time:
+            raise SimulationError(
+                f"trace time went backwards: {now} after {self._last_time} "
+                f"(emitting {kind!r} for {subject!r})"
+            )
+        self._last_time = now
+        self._records.append(TraceRecord(now, kind, subject, dict(detail)))
         if self._capacity is not None and len(self._records) > self._capacity:
             overflow = len(self._records) - self._capacity
             del self._records[:overflow]
@@ -107,6 +127,7 @@ class Tracer:
         return "\n".join(lines)
 
     def clear(self) -> None:
-        """Forget everything recorded so far."""
+        """Forget everything recorded so far (and reset the time guard)."""
         self._records.clear()
         self._dropped = 0
+        self._last_time = None

@@ -1,0 +1,195 @@
+"""Unit tests: the trace invariant checker catches exactly what it should."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ivqp_router
+from repro.core.value import DiscountRates
+from repro.errors import SimulationError
+from repro.federation.system import SystemConfig, TableSpec, build_system
+from repro.obs import TraceChecker, events
+from repro.obs.ledger import IVLedgerEntry
+from repro.sim.trace import TraceRecord
+from repro.workload.query import DSSQuery
+
+
+def traced_system(num_queries: int = 2):
+    config = SystemConfig(
+        tables=[
+            TableSpec("a", site=0, row_count=1_000),
+            TableSpec("b", site=1, row_count=2_000),
+        ],
+        replicated=["a"],
+        sync_mode="periodic",
+        sync_mean_interval=4.0,
+        rates=DiscountRates(0.02, 0.02),
+        trace=True,
+        seed=2,
+    )
+    system = build_system(config, ivqp_router)
+    for qid in range(num_queries):
+        system.submit(
+            DSSQuery(query_id=qid, name=f"q{qid}", tables=("a", "b")),
+            at=3.0 * qid,
+        )
+    system.run()
+    return system
+
+
+def rules_of(violations) -> set[str]:
+    return {violation.rule for violation in violations}
+
+
+class TestCleanTraces:
+    def test_real_run_is_clean(self):
+        system = traced_system()
+        checker = TraceChecker()
+        assert checker.check(system.tracer.records) == []
+        checker.assert_clean(system.tracer.records)  # must not raise
+
+    def test_check_system_entry_point(self):
+        system = traced_system()
+        assert TraceChecker().check_system(system) == []
+
+    def test_check_system_requires_a_tracer(self):
+        config = SystemConfig(
+            tables=[TableSpec("a", site=0, row_count=100)], replicated=[]
+        )
+        system = build_system(config, ivqp_router)
+        with pytest.raises(SimulationError):
+            TraceChecker().check_system(system)
+
+    def test_empty_trace_is_clean(self):
+        assert TraceChecker().check([]) == []
+
+
+class TestTamperedTraces:
+    """Each corruption must be caught by the rule named for it."""
+
+    def test_tampered_iv_caught(self):
+        records = traced_system().tracer.records
+        for record in records:
+            if record.kind == events.LEDGER:
+                record.detail["reported_iv"] = record.detail["reported_iv"] + 0.1
+        violations = TraceChecker().check(records)
+        assert "iv-recompute" in rules_of(violations)
+        assert "event-ledger-agree" in rules_of(violations)
+
+    def test_tampered_timestamp_breaks_conservation(self):
+        records = traced_system().tracer.records
+        for record in records:
+            if record.kind == events.LEDGER:
+                record.detail["local_done_at"] = (
+                    record.detail["local_done_at"] + 0.5
+                )
+        violations = TraceChecker().check(records)
+        # Shifting one boundary changes two phases in opposite directions —
+        # conservation survives — but the IV and the phase ordering cannot
+        # all stay consistent with the event stream.
+        assert rules_of(violations) & {
+            "cl-conservation", "phase-order", "iv-recompute", "queue-wait"
+        }
+
+    def test_tampered_queue_wait_caught(self):
+        records = traced_system().tracer.records
+        for record in records:
+            if record.kind == events.LEDGER:
+                record.detail["queue_wait"] = record.detail["queue_wait"] + 1.0
+        assert "queue-wait" in rules_of(TraceChecker().check(records))
+
+    def test_tampered_provenance_caught(self):
+        records = traced_system().tracer.records
+        for record in records:
+            if record.kind == events.LEDGER and record.detail["versions"]:
+                record.detail["versions"][0]["realized_freshness"] = -999.0
+        assert "sl-provenance" in rules_of(TraceChecker().check(records))
+
+    def test_time_going_backwards_caught(self):
+        records = traced_system().tracer.records
+        shuffled = [records[-1]] + records[:-1]
+        assert "time-monotonic" in rules_of(TraceChecker().check(shuffled))
+
+    def test_causal_disorder_caught(self):
+        records = traced_system().tracer.records
+        complete = next(r for r in records if r.kind == events.COMPLETE)
+        submit_index = next(
+            index for index, r in enumerate(records)
+            if r.kind == events.SUBMIT
+            and r.detail.get("qid") == complete.detail["qid"]
+        )
+        tampered = [
+            TraceRecord(
+                records[submit_index].time, complete.kind,
+                complete.subject, dict(complete.detail),
+            )
+            if index == submit_index else record
+            for index, record in enumerate(records)
+        ]
+        assert "causal-order" in rules_of(TraceChecker().check(tampered))
+
+    def test_duplicate_ledger_caught(self):
+        records = traced_system().tracer.records
+        ledger = next(r for r in records if r.kind == events.LEDGER)
+        assert "ledger-unique" in rules_of(TraceChecker().check(records + [ledger]))
+
+    def test_malformed_ledger_caught(self):
+        record = TraceRecord(1.0, events.LEDGER, "q", {"query": "q"})
+        assert "ledger-well-formed" in rules_of(TraceChecker().check([record]))
+
+    def test_missing_qid_caught(self):
+        record = TraceRecord(1.0, events.SUBMIT, "q", {})
+        assert "qid-present" in rules_of(TraceChecker().check([record]))
+
+    def test_assert_clean_raises_with_listing(self):
+        record = TraceRecord(1.0, events.SUBMIT, "q", {})
+        with pytest.raises(SimulationError, match="qid-present"):
+            TraceChecker().assert_clean([record])
+
+
+class TestCompletenessAndFaults:
+    def test_submitted_but_never_finished_caught(self):
+        records = [
+            record for record in traced_system().tracer.records
+            if record.kind not in (events.COMPLETE, events.FAILED, events.LEDGER)
+        ]
+        rules = rules_of(TraceChecker().check(records))
+        assert "query-completes" in rules
+        assert "ledger-present" in rules
+
+    def test_truncated_window_tolerated_when_opted_out(self):
+        records = [
+            record for record in traced_system().tracer.records
+            if record.kind not in (events.COMPLETE, events.FAILED, events.LEDGER)
+        ]
+        checker = TraceChecker(require_complete=False)
+        assert checker.check(records) == []
+
+    def test_fault_alternation_enforced(self):
+        down = TraceRecord(1.0, events.FAULT_DOWN, "site:1", {})
+        up = TraceRecord(2.0, events.FAULT_UP, "site:1", {})
+        assert TraceChecker().check([down, up]) == []
+        again = TraceRecord(3.0, events.FAULT_DOWN, "site:1", {})
+        assert "fault-alternation" in rules_of(
+            TraceChecker().check([down, down, up, again])
+        )
+
+    def test_tolerance_validation(self):
+        with pytest.raises(SimulationError):
+            TraceChecker(tolerance=-1.0)
+
+
+class TestLedgerEntryAgainstOutcomes:
+    def test_ledger_mirrors_outcomes_exactly(self):
+        system = traced_system(num_queries=3)
+        assert len(system.ledger) == len(system.outcomes)
+        by_qid = {entry.query_id: entry for entry in system.ledger}
+        for outcome in system.outcomes:
+            entry = by_qid[outcome.query.query_id]
+            assert isinstance(entry, IVLedgerEntry)
+            assert entry.reported_iv == outcome.information_value
+            assert entry.recompute_iv() == outcome.information_value
+            assert entry.computational_latency == outcome.computational_latency
+            assert (
+                entry.synchronization_latency == outcome.synchronization_latency
+            )

@@ -1,0 +1,54 @@
+"""Golden-trace regression: the fig4 walkthrough's trace is frozen.
+
+``tests/golden/fig4_trace.jsonl`` is the canonical, committed trace of the
+paper's Figure 4 scatter-and-gather walkthrough executed on the runtime.
+Any behaviour change in the planner, executor, replication manager or
+tracer shows up as a diff against this file.  To regenerate after an
+*intentional* change::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments.trace_scenarios import trace_fig4
+    from repro.obs import normalize
+    with open('tests/golden/fig4_trace.jsonl', 'w') as handle:
+        handle.write(normalize(trace_fig4().tracer.records) + '\n')
+    EOF
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.trace_scenarios import trace_fig4
+from repro.obs import TraceChecker, from_jsonl, ledger_from_records, normalize
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "fig4_trace.jsonl"
+
+
+def test_fig4_trace_matches_golden():
+    system = trace_fig4()
+    expected = GOLDEN.read_text()
+    assert normalize(system.tracer.records) + "\n" == expected
+
+
+def test_golden_trace_passes_the_checker():
+    TraceChecker().assert_clean(from_jsonl(GOLDEN.read_text()))
+
+
+def test_golden_ledger_recomputes_paper_iv():
+    records = from_jsonl(GOLDEN.read_text())
+    (entry,) = ledger_from_records(records)
+    # The walkthrough's headline numbers (ICDCS 2009, Figure 4): the chosen
+    # plan starts at the T2 sync point, reads T3 from its base site and the
+    # other three tables from replicas, with the result as-of T4's refresh.
+    assert entry.submitted_at == 11.0
+    assert entry.started_at == 14.0
+    assert entry.completed_at == 18.0
+    assert entry.computational_latency == 7.0
+    assert entry.data_timestamp == 12.5
+    assert entry.synchronization_latency == 5.5
+    assert entry.recompute_iv() == entry.reported_iv
+    assert entry.stalest is not None and entry.stalest.table == "T4"
+    kinds = {version.table: version.kind for version in entry.versions}
+    assert kinds == {
+        "T1": "replica", "T2": "replica", "T3": "base", "T4": "replica"
+    }

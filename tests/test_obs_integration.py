@@ -1,0 +1,126 @@
+"""Acceptance tests for the observability layer (ISSUE acceptance criteria).
+
+Three end-to-end guarantees, each on a realistically-sized run:
+
+* a fig5-scale TPC-H stream where every reported IV is recomputable from
+  the audit ledger *bit-identically* and the full trace passes the
+  TraceChecker,
+* the EXT3-style fault-injected run (site outages, sync skips/slips,
+  retries, failovers) produces a checker-clean trace,
+* turning tracing off changes nothing: outcomes are bit-identical with
+  and without the observability layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.value import DiscountRates
+from repro.experiments.config import TpchSetup, sync_interval_for_ratio
+from repro.experiments.runner import run_stream
+from repro.experiments.trace_scenarios import trace_faults
+from repro.obs import TraceChecker, events, ledger_from_records
+
+pytestmark = pytest.mark.slow
+
+
+def fig5_scale_config():
+    setup = TpchSetup(scale=0.0005, seed=7)
+    config = setup.system_config(
+        approach="ivqp",
+        rates=DiscountRates.symmetric(0.05),
+        sync_mean_interval=sync_interval_for_ratio(10.0),
+        seed=1,
+    )
+    return setup, config
+
+
+def run_fig5_scale(trace: bool):
+    setup, config = fig5_scale_config()
+    return run_stream(
+        config,
+        approach="ivqp",
+        queries=setup.queries(),
+        mean_interarrival=10.0,
+        trace=trace,
+    )
+
+
+class TestFig5ScaleTracedRun:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return run_fig5_scale(trace=True)
+
+    def test_every_reported_iv_recomputes_bit_identically(self, traced):
+        assert len(traced.ledger) == len(traced.outcomes)
+        by_qid = {entry.query_id: entry for entry in traced.ledger}
+        for outcome in traced.outcomes:
+            entry = by_qid[outcome.query.query_id]
+            assert entry.recompute_iv() == outcome.information_value
+            assert entry.reported_iv == outcome.information_value
+
+    def test_trace_is_checker_clean(self, traced):
+        assert TraceChecker().check(traced.tracer.records) == []
+
+    def test_ledger_survives_serialization_bit_identically(self, traced):
+        from repro.obs import from_jsonl, to_jsonl
+
+        revived = ledger_from_records(from_jsonl(to_jsonl(traced.tracer.records)))
+        assert revived == traced.ledger
+        for entry in revived:
+            assert entry.recompute_iv() == entry.reported_iv
+
+
+class TestFaultInjectedRun:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return trace_faults(outage_rate=0.02)
+
+    def test_faults_actually_fired(self, system):
+        kinds = {record.kind for record in system.tracer.records}
+        assert events.FAULT_DOWN in kinds
+        assert kinds & {events.SYNC_SKIP, events.SYNC_DELAY}
+
+    def test_trace_is_checker_clean_under_faults(self, system):
+        assert TraceChecker().check(system.tracer.records) == []
+
+    def test_degraded_queries_still_recompute_exactly(self, system):
+        assert system.ledger
+        for entry in system.ledger:
+            assert entry.recompute_iv() == entry.reported_iv
+
+
+class TestTracingIsPureBookkeeping:
+    def test_outcomes_bit_identical_with_tracing_off(self):
+        traced = run_fig5_scale(trace=True)
+        plain = run_fig5_scale(trace=False)
+        assert plain.tracer is None and plain.ledger == []
+        assert traced.mean_iv == plain.mean_iv
+        assert traced.mean_cl == plain.mean_cl
+        assert traced.mean_sl == plain.mean_sl
+        assert len(traced.outcomes) == len(plain.outcomes)
+        for with_trace, without in zip(traced.outcomes, plain.outcomes):
+            assert with_trace.query.query_id == without.query.query_id
+            assert with_trace.information_value == without.information_value
+            assert with_trace.computational_latency == (
+                without.computational_latency
+            )
+            assert with_trace.synchronization_latency == (
+                without.synchronization_latency
+            )
+            assert with_trace.submitted_at == without.submitted_at
+            assert with_trace.completed_at == without.completed_at
+
+    def test_trace_flag_does_not_mutate_caller_config(self):
+        setup, config = fig5_scale_config()
+        before = dataclasses.replace(config)
+        run_stream(
+            config,
+            approach="ivqp",
+            queries=setup.queries()[:3],
+            mean_interarrival=10.0,
+            trace=True,
+        )
+        assert config.trace == before.trace is False

@@ -1,0 +1,162 @@
+"""Unit tests: the metrics registry (counters, gauges, histograms, adapters)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.federation.faults import FaultStats
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.sim.monitor import Monitor
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.snapshot() == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(SimulationError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(-2.5)
+        assert gauge.snapshot() == -2.5
+
+
+class TestHistogram:
+    def test_bucket_placement_and_overflow(self):
+        hist = Histogram("h", bounds=(1.0, 5.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        # <=1.0 -> bucket 0, <=5.0 -> bucket 1, beyond -> overflow.
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.minimum == 0.5 and hist.maximum == 100.0
+
+    def test_mean_and_quantile(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(1.625)
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_quantile_validation(self):
+        hist = Histogram("h", bounds=(1.0,))
+        with pytest.raises(SimulationError):
+            hist.quantile(1.5)
+        with pytest.raises(SimulationError):
+            hist.quantile(0.5)  # empty
+
+    def test_snapshot_shape(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["min"] == 0.5 and snapshot["max"] == 0.5
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_cross_type_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(SimulationError):
+            registry.gauge("metric")
+        with pytest.raises(SimulationError):
+            registry.histogram("metric")
+
+    def test_ingest_counters_from_fault_stats(self):
+        stats = FaultStats(outages_scheduled=3, outage_minutes=12.5)
+        registry = MetricsRegistry()
+        registry.ingest_counters("faults", stats)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["faults.outages_scheduled"] == 3
+        assert snapshot["counters"]["faults.outage_minutes"] == 12.5
+
+    def test_ingest_counters_requires_dataclass(self):
+        with pytest.raises(SimulationError):
+            MetricsRegistry().ingest_counters("x", object())
+
+    def test_observe_monitor_publishes_aggregates(self):
+        monitor = Monitor("m")
+        for value in (1.0, 3.0):
+            monitor.observe(value)
+        registry = MetricsRegistry()
+        registry.observe_monitor("m", monitor)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["m.count"] == 2
+        assert gauges["m.mean"] == 2.0
+        assert gauges["m.min"] == 1.0 and gauges["m.max"] == 3.0
+
+    def test_to_json_is_valid_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        data = json.loads(registry.to_json())
+        assert list(data["counters"]) == ["a", "b"]
+
+
+class TestSystemRegistry:
+    def test_registry_from_traced_system(self):
+        from repro.baselines import ivqp_router
+        from repro.core.value import DiscountRates
+        from repro.federation.system import (
+            SystemConfig,
+            TableSpec,
+            build_system,
+        )
+        from repro.obs.metrics import registry_from_system
+        from repro.workload.query import DSSQuery
+
+        config = SystemConfig(
+            tables=[
+                TableSpec("a", site=0, row_count=1_000),
+                TableSpec("b", site=1, row_count=2_000),
+            ],
+            replicated=["a"],
+            sync_mode="periodic",
+            sync_mean_interval=4.0,
+            rates=DiscountRates(0.02, 0.02),
+            trace=True,
+            seed=2,
+        )
+        system = build_system(config, ivqp_router)
+        for qid in range(3):
+            system.submit(
+                DSSQuery(query_id=qid, name=f"q{qid}", tables=("a", "b")),
+                at=float(qid) * 5.0,
+            )
+        system.run()
+
+        snapshot = registry_from_system(system).snapshot()
+        assert snapshot["counters"]["query.completed"] == 3
+        assert snapshot["counters"]["sync.total"] == system.replication.total_syncs
+        assert snapshot["counters"]["trace.records"] == len(system.tracer)
+        assert snapshot["gauges"]["query.iv.count"] == 3
+        assert snapshot["histograms"]["query.cl.hist"]["count"] == 3
+        # system.metrics() is the same snapshot behind a method.
+        assert system.metrics().snapshot() == snapshot

@@ -34,7 +34,7 @@ class TestMonitor:
         assert monitor.stddev == 0.0
 
     def test_percentile_interpolates(self):
-        monitor = Monitor()
+        monitor = Monitor(keep_values=True)
         for value in (10.0, 20.0, 30.0, 40.0):
             monitor.observe(value)
         assert monitor.percentile(0) == 10.0
@@ -43,13 +43,56 @@ class TestMonitor:
 
     def test_percentile_of_empty_raises(self):
         with pytest.raises(SimulationError):
-            Monitor().percentile(50)
+            Monitor(keep_values=True).percentile(50)
 
     def test_percentile_out_of_range_raises(self):
-        monitor = Monitor()
+        monitor = Monitor(keep_values=True)
         monitor.observe(1.0)
         with pytest.raises(SimulationError):
             monitor.percentile(101)
+
+    def test_retention_is_opt_in(self):
+        # Regression (unbounded memory): the default monitor must not
+        # buffer raw samples at all.
+        monitor = Monitor()
+        for value in range(1_000):
+            monitor.observe(float(value))
+        assert monitor.retained == 0
+        assert monitor.values == []
+        with pytest.raises(SimulationError):
+            monitor.percentile(50)
+
+    def test_capped_retention_stays_bounded(self):
+        monitor = Monitor(keep_values=True, cap=64)
+        for value in range(10_000):
+            monitor.observe(float(value))
+        assert monitor.count == 10_000
+        assert 0 < monitor.retained <= 64
+        # The subsample is evenly spaced from the start of the run.
+        kept = monitor.values
+        assert kept[0] == 0.0
+        strides = {b - a for a, b in zip(kept, kept[1:])}
+        assert len(strides) == 1
+        # Percentiles stay close on the thinned buffer.
+        assert monitor.percentile(50) == pytest.approx(5_000, rel=0.05)
+
+    def test_million_observation_run_stays_bounded(self):
+        # Satellite regression: a million observations must not accumulate
+        # a million floats, with or without retention.
+        bare = Monitor()
+        capped = Monitor(keep_values=True, cap=1_024)
+        for value in range(1_000_000):
+            sample = float(value % 97)
+            bare.observe(sample)
+            capped.observe(sample)
+        assert bare.retained == 0
+        assert capped.retained <= 1_024
+        assert bare.count == capped.count == 1_000_000
+        assert bare.mean == pytest.approx(48.0, rel=0.01)
+
+    def test_cap_validation(self):
+        with pytest.raises(SimulationError):
+            Monitor(keep_values=True, cap=1)
 
     def test_merge_combines_statistics(self):
         a, b = Monitor(), Monitor()
@@ -80,7 +123,7 @@ class TestMonitor:
     )
 )
 def test_welford_matches_numpy(values):
-    monitor = Monitor()
+    monitor = Monitor(keep_values=True)
     for value in values:
         monitor.observe(value)
     assert monitor.mean == pytest.approx(float(np.mean(values)), abs=1e-6, rel=1e-9)

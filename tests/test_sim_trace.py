@@ -80,6 +80,45 @@ class TestTracer:
         assert len(tracer) == 0
         assert tracer.dropped == 0
 
+    def test_emit_rejects_time_going_backwards(self):
+        clock, tracer = self.make()
+        clock[0] = 5.0
+        tracer.emit("tick", "a")
+        clock[0] = 4.0
+        with pytest.raises(SimulationError):
+            tracer.emit("tick", "b")
+        # The offending record was not appended.
+        assert [record.subject for record in tracer.records] == ["a"]
+
+    def test_emit_allows_equal_times(self):
+        clock, tracer = self.make()
+        clock[0] = 2.0
+        tracer.emit("tick", "a")
+        tracer.emit("tick", "b")
+        assert len(tracer) == 2
+
+    def test_clear_resets_the_time_guard(self):
+        clock, tracer = self.make()
+        clock[0] = 9.0
+        tracer.emit("tick", "a")
+        tracer.clear()
+        clock[0] = 1.0
+        tracer.emit("tick", "b")  # fine after clear
+        assert len(tracer) == 1
+
+    def test_capacity_drops_oldest_never_newest(self):
+        clock, tracer = self.make(capacity=3)
+        for index in range(10):
+            clock[0] = float(index)
+            tracer.emit("tick", str(index))
+        assert [record.subject for record in tracer.records] == ["7", "8", "9"]
+        assert tracer.dropped == 7
+        # The newest record is always retained.
+        clock[0] = 10.0
+        tracer.emit("tick", "10")
+        assert tracer.records[-1].subject == "10"
+        assert len(tracer) == 3
+
     def test_record_format(self):
         record = TraceRecord(2.0, "plan", "Q3", {"remote": "a,b"})
         text = record.format()
@@ -120,12 +159,13 @@ class TestSystemTracing:
         assert "plan" in kinds
         assert "complete" in kinds
         assert "sync" in kinds
-        # Causal ordering for the query's own lifecycle.
-        q_events = list(tracer.filter(subject="q"))
-        assert [record.kind for record in q_events] == [
-            "submit", "plan", "complete",
-        ]
-        times = [record.time for record in q_events]
+        # Causal ordering for the query's own lifecycle: the full span
+        # event stream, submission through audit ledger.
+        q_kinds = [record.kind for record in tracer.filter(subject="q")]
+        assert q_kinds[:3] == ["submit", "plan", "exec.start"]
+        assert q_kinds[-3:] == ["local.done", "complete", "ledger"]
+        assert "remote.done" in q_kinds and "local.granted" in q_kinds
+        times = [record.time for record in tracer.filter(subject="q")]
         assert times == sorted(times)
 
     def test_untraced_system_has_no_tracer(self):
