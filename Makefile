@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults trace-check lint ci bench bench-mqo bench-faults experiments check examples all
+.PHONY: install test test-fast test-faults test-online trace-check lint ci bench bench-mqo bench-faults bench-online experiments check examples all
 
 install:
 	pip install -e .
@@ -16,6 +16,9 @@ test-fast:
 
 test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py tests/test_faults_properties.py tests/test_latency_accounting.py -q
+
+test-online:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_mqo_online.py tests/test_mqo_online_properties.py -q
 
 # Audit the fig4 golden scenario with the trace invariant checker.
 trace-check:
@@ -34,7 +37,9 @@ lint:
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	$(MAKE) test-faults
+	$(MAKE) test-online
 	$(MAKE) trace-check
+	$(MAKE) bench-online
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -45,6 +50,9 @@ bench-mqo:
 
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/faults_snapshot.py BENCH_faults.json
+
+bench-online:
+	PYTHONPATH=src $(PYTHON) benchmarks/online_snapshot.py BENCH_online.json
 
 experiments:
 	$(PYTHON) -m repro all

@@ -1,0 +1,110 @@
+"""Write ``BENCH_online.json`` — a point-in-time online-MQO snapshot.
+
+Runs a reduced EXT4 comparison (fifo vs online vs clairvoyant batch on
+one sustained Poisson stream over the contended fig9 infrastructure) and
+records realized totals plus the online loop's overhead counters —
+windows run, GA invocations, warm-started GAs, wall-clock spent
+re-optimizing.  Invoked by ``make bench-online``; the JSON gives the
+rolling-window scheduler a regression baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/online_snapshot.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.fig9 import Fig9Config, build_mqo_scheduler
+from repro.experiments.runner import reissue_stream
+from repro.mqo.ga import GAConfig
+from repro.mqo.online import OnlineConfig, OnlineMQOScheduler
+from repro.workload.arrival import poisson_arrivals
+from repro.workload.generator import random_queries
+from repro.workload.query import Workload
+
+QUERY_COUNT = 8
+ROUNDS = 2
+INTERARRIVAL = 1.0
+
+
+def snapshot() -> dict:
+    scheduler, setup = build_mqo_scheduler(Fig9Config(ga=GAConfig(generations=30)))
+    templates = random_queries(setup.instance, count=QUERY_COUNT, seed=23)
+    stream = reissue_stream(templates, rounds=ROUNDS)
+    arrivals = poisson_arrivals(INTERARRIVAL, len(stream), seed=7)
+    workload = Workload.from_queries(stream, arrivals=arrivals)
+
+    fifo = scheduler.fifo(workload)
+
+    online = OnlineMQOScheduler(
+        scheduler.catalog,
+        scheduler.cost_provider,
+        scheduler.default_rates,
+        ga_config=GAConfig(generations=20),
+        seed=scheduler.seed,
+        config=OnlineConfig(window=4.0, max_pending=16, iv_floor=0.02),
+    )
+    started = time.perf_counter()
+    decision = online.run(workload)
+    online_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = scheduler.schedule(workload)
+    batch_wall = time.perf_counter() - started
+
+    stats = decision.stats
+    assert decision.total_information_value >= fifo.total_information_value
+    return {
+        "workload": {
+            "queries": len(stream),
+            "mean_interarrival": INTERARRIVAL,
+            "window": online.config.window,
+            "max_pending": online.config.max_pending,
+            "iv_floor": online.config.iv_floor,
+        },
+        "total_iv": {
+            "fifo": fifo.total_information_value,
+            "online": decision.total_information_value,
+            "batch": batch.total_information_value,
+        },
+        "online_overhead": {
+            "wall_seconds": round(online_wall, 4),
+            "reopt_seconds": round(stats.reopt_seconds, 4),
+            "windows": stats.windows,
+            "ga_runs": stats.ga_runs,
+            "warm_seeds": stats.warm_seeds,
+            "mean_reopt_ms": round(
+                stats.reopt_seconds * 1e3 / max(stats.windows, 1), 2
+            ),
+        },
+        "online_admission": {
+            "submitted": stats.submitted,
+            "admitted": stats.admitted,
+            "shed": stats.shed,
+            "deferred": stats.deferred,
+            "requeued": stats.requeued,
+            "dispatched": stats.dispatched,
+        },
+        "batch_wall_seconds": round(batch_wall, 4),
+        "online_vs_fifo_gain_pct": round(
+            (decision.total_information_value - fifo.total_information_value)
+            / fifo.total_information_value * 100.0, 1,
+        ) if fifo.total_information_value > 0 else None,
+    }
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_online.json")
+    data = snapshot()
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(json.dumps(data, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9a, run_fig9b
 from repro.experiments.load import run_load_sweep
 from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.stream_mqo import run_stream_mqo
 from repro.reporting.charts import grouped_bar_chart
 from repro.reporting.export import render
 from repro.reporting.tables import ResultTable
@@ -71,6 +72,7 @@ EXPERIMENTS: dict[str, Callable[[], list[ResultTable]]] = {
     "sensitivity": lambda: [run_sensitivity()],
     "load": lambda: [run_load_sweep()],
     "faults": lambda: [run_fault_sweep()],
+    "stream-mqo": lambda: [run_stream_mqo()],
 }
 
 #: (group_by, series, value) specs for ``--chart``, where a grouped bar
@@ -80,6 +82,7 @@ CHART_SPECS: dict[str, tuple[tuple[str, ...], str, str]] = {
     "fig8": (("placement", "sites"), "approach", "mean_iv"),
     "load": (("interarrival_min",), "approach", "mean_iv"),
     "faults": (("outage_rate", "policy"), "approach", "mean_iv"),
+    "stream-mqo": (("interarrival",), "approach", "mean_iv"),
 }
 
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.value import DiscountRates
 from repro.experiments.config import TpchSetup, sync_interval_for_ratio
-from repro.experiments.runner import APPROACHES, _build
+from repro.experiments.runner import APPROACHES, _build, reissue_stream
 from repro.federation.executor import ExecutionPolicy
 from repro.federation.faults import FaultPlan
 from repro.reporting.tables import ResultTable
@@ -72,26 +72,6 @@ def _policy(name: str) -> ExecutionPolicy:
     raise ValueError(f"unknown policy {name!r} (retry | none)")
 
 
-def _stream(queries: list[DSSQuery], rounds: int) -> list[DSSQuery]:
-    stream: list[DSSQuery] = []
-    next_id = 1
-    for _round in range(rounds):
-        for query in queries:
-            stream.append(
-                DSSQuery(
-                    query_id=next_id,
-                    name=query.name,
-                    tables=query.tables,
-                    business_value=query.business_value,
-                    rates=query.rates,
-                    logical=query.logical,
-                    base_work=query.base_work,
-                )
-            )
-            next_id += 1
-    return stream
-
-
 def run_fault_sweep(config: FaultSweepConfig | None = None) -> ResultTable:
     """Sweep the outage rate and report realized IV and fault handling."""
     config = config or FaultSweepConfig()
@@ -133,7 +113,7 @@ def run_fault_sweep(config: FaultSweepConfig | None = None) -> ResultTable:
                 system_config.fault_plan = fault_plan
                 system_config.execution_policy = _policy(policy_name)
                 system = _build(system_config, approach)
-                stream = _stream(queries, config.rounds)
+                stream = reissue_stream(queries, config.rounds)
                 arrivals = poisson_arrivals(
                     config.mean_interarrival, len(stream),
                     seed=config.arrival_seed,

@@ -19,10 +19,17 @@ from repro.workload.arrival import poisson_arrivals
 from repro.workload.query import DSSQuery, Workload
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mqo.online import OnlineConfig, OnlineDecision
     from repro.obs.ledger import IVLedgerEntry
     from repro.sim.trace import Tracer
 
-__all__ = ["APPROACHES", "RunResult", "run_stream", "run_single_queries"]
+__all__ = [
+    "APPROACHES",
+    "RunResult",
+    "reissue_stream",
+    "run_stream",
+    "run_single_queries",
+]
 
 #: Router factories by approach name.  ``ivqp-partial`` is the same router
 #: on the paper-literal partial-replication infrastructure (see
@@ -50,6 +57,8 @@ class RunResult:
     ledger: "list[IVLedgerEntry]" = field(default_factory=list)
     #: The drained system behind the run (for metrics/checker access).
     system: FederatedSystem | None = None
+    #: The online scheduler's decision when ``run_stream(online=True)``.
+    online: "OnlineDecision | None" = None
 
     @property
     def per_query_cl(self) -> dict[str, float]:
@@ -87,6 +96,24 @@ def _build(config: SystemConfig, approach: str) -> FederatedSystem:
     return build_system(config, factory)
 
 
+def reissue_stream(queries: list[DSSQuery], rounds: int = 1) -> list[DSSQuery]:
+    """``rounds`` passes over ``queries``, re-id'd into one duplicate-free stream.
+
+    Each submission is a :func:`dataclasses.replace` copy differing only in
+    ``query_id`` — every field a :class:`DSSQuery` has (or grows later)
+    survives the round trip.
+    """
+    if rounds < 1:
+        raise ConfigError(f"rounds must be >= 1, got {rounds}")
+    stream: list[DSSQuery] = []
+    next_id = 1
+    for _round in range(rounds):
+        for query in queries:
+            stream.append(dataclasses.replace(query, query_id=next_id))
+            next_id += 1
+    return stream
+
+
 def run_stream(
     config: SystemConfig,
     approach: str,
@@ -95,6 +122,8 @@ def run_stream(
     rounds: int = 1,
     arrival_seed: int = 3,
     trace: bool = False,
+    online: bool = False,
+    online_config: "OnlineConfig | None" = None,
 ) -> RunResult:
     """Submit ``rounds`` passes over ``queries`` as a Poisson stream.
 
@@ -102,31 +131,24 @@ def run_stream(
     events + IV audit ledger) without touching the caller's config; the
     tracer and ledger come back on the :class:`RunResult`.  Tracing is
     pure bookkeeping — aggregates are bit-identical either way.
+
+    ``online=True`` routes the stream through the rolling-window online
+    MQO scheduler (:class:`~repro.mqo.online.OnlineMQOScheduler`) instead
+    of per-submission routing: admission control may shed queries (they
+    produce no outcome) and the decided schedule is replayed through the
+    simulation.  The :class:`~repro.mqo.online.OnlineDecision` comes back
+    on :attr:`RunResult.online`.
     """
-    if rounds < 1:
-        raise ConfigError(f"rounds must be >= 1, got {rounds}")
     if trace and not config.trace:
         config = dataclasses.replace(config, trace=True)
     system = _build(config, approach)
-    stream: list[DSSQuery] = []
-    next_id = 1
-    for round_index in range(rounds):
-        for query in queries:
-            # Re-id per submission so the workload stays duplicate-free.
-            stream.append(
-                DSSQuery(
-                    query_id=next_id,
-                    name=query.name,
-                    tables=query.tables,
-                    business_value=query.business_value,
-                    rates=query.rates,
-                    logical=query.logical,
-                    base_work=query.base_work,
-                )
-            )
-            next_id += 1
+    stream = reissue_stream(queries, rounds)
     arrivals = poisson_arrivals(mean_interarrival, len(stream), seed=arrival_seed)
-    system.submit_workload(Workload.from_queries(stream, arrivals=arrivals))
+    workload = Workload.from_queries(stream, arrivals=arrivals)
+    if online:
+        system.submit_workload_online(workload, config=online_config)
+    else:
+        system.submit_workload(workload)
     system.run()
     return RunResult(
         approach=approach,
@@ -137,6 +159,7 @@ def run_stream(
         tracer=system.tracer,
         ledger=system.ledger,
         system=system,
+        online=system.online,
     )
 
 

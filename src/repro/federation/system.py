@@ -126,6 +126,9 @@ class FederatedSystem:
         self.cl_monitor = Monitor("computational-latency")
         self.sl_monitor = Monitor("synchronization-latency")
         self.tracer = tracer
+        #: The online scheduler's decision after
+        #: :meth:`submit_workload_online` (``None`` for batch submission).
+        self.online = None
         self._submitted = 0
         if tracer is not None:
             replication.tracer = tracer
@@ -199,6 +202,46 @@ class FederatedSystem:
             decision.result.assignments, enforce_schedule=True
         )
         self.submit_workload(workload)
+        return decision
+
+    def submit_workload_online(
+        self, workload, config=None, ga_config=None, seed: int = 0
+    ):
+        """Stream a workload through the rolling-window online scheduler.
+
+        Replays the workload's arrival stream through
+        :class:`~repro.mqo.online.OnlineMQOScheduler` — admission control,
+        rolling re-optimization windows, warm-started GAs — then realizes
+        the decided schedule in this simulation via a replaying router.
+        Queries shed by admission control are *not* submitted (they never
+        execute and produce no outcome).  Returns the
+        :class:`~repro.mqo.online.OnlineDecision`, also kept on
+        :attr:`online` for metrics/reporting.
+        """
+        from repro.baselines.replay import ReplayRouter
+        from repro.mqo.online import OnlineMQOScheduler
+
+        scheduler = OnlineMQOScheduler(
+            self.catalog,
+            self.cost_model,
+            self.rates,
+            ga_config=ga_config,
+            seed=seed,
+            tracer=self.tracer,
+            config=config,
+        )
+        decision = scheduler.run(workload)
+        self.online = decision
+        self.router = ReplayRouter.from_assignments(
+            decision.result.assignments, enforce_schedule=True
+        )
+        executed = {
+            assignment.query.query_id
+            for assignment in decision.result.assignments
+        }
+        for query in workload.sorted_by_arrival():
+            if query.query_id in executed:
+                self.submit(query, at=workload.arrival_of(query.query_id))
         return decision
 
     def run(self, until: float | None = None) -> None:

@@ -14,6 +14,13 @@ from repro.mqo.evaluator import (
     WorkloadEvaluator,
 )
 from repro.mqo.ga import GAConfig, GAResult, GeneticAlgorithm
+from repro.mqo.online import (
+    OnlineConfig,
+    OnlineDecision,
+    OnlineMQOScheduler,
+    OnlineStats,
+    WindowRecord,
+)
 from repro.mqo.scheduler import ScheduleDecision, WorkloadScheduler
 from repro.mqo.search_baselines import SearchResult, hill_climb, random_search
 
@@ -25,7 +32,12 @@ __all__ = [
     "GAConfig",
     "GAResult",
     "GeneticAlgorithm",
+    "OnlineConfig",
+    "OnlineDecision",
+    "OnlineMQOScheduler",
+    "OnlineStats",
     "ScheduleDecision",
+    "WindowRecord",
     "SearchResult",
     "WorkloadEvaluator",
     "WorkloadScheduler",

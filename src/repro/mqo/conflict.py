@@ -43,10 +43,22 @@ class ExecutionRange:
         return self.start < other.end and other.start < self.end
 
 
-def execution_ranges(evaluator: WorkloadEvaluator) -> list[ExecutionRange]:
-    """Derive each query's candidate execution range from its plan set."""
+def execution_ranges(
+    evaluator: WorkloadEvaluator,
+    query_ids: list[int] | None = None,
+) -> list[ExecutionRange]:
+    """Derive each query's candidate execution range from its plan set.
+
+    ``query_ids`` restricts the ranges to a subset of the workload (the
+    online scheduler re-groups only not-yet-started queries); ``None``
+    covers the whole workload.
+    """
+    if query_ids is None:
+        queries = evaluator.workload.queries
+    else:
+        queries = [evaluator.workload.query(qid) for qid in query_ids]
     ranges = []
-    for query in evaluator.workload.queries:
+    for query in queries:
         arrival = evaluator.workload.arrival_of(query.query_id)
         plans = evaluator.candidates(query)
         if not plans:  # pragma: no cover - candidates never empty

@@ -315,6 +315,9 @@ class WorkloadEvaluator:
         self._compiled: dict[int, _CompiledQuery] = {}
         self._timelines: dict[str, _CompiledTimeline] = {}
         self._trie = _TrieNode({}, None, 0.0)
+        #: Server availabilities every evaluation starts from; committed
+        #: mid-stream state after :meth:`rebase` (empty for batch use).
+        self._base_free_at: dict[int, float] = {}
         # (query_id, clocks of that query's candidate sites) → choice.
         # _choose_fast is a pure function of exactly those inputs, so the
         # memo is exact; bounded by the same cap as the trie.
@@ -484,6 +487,34 @@ class WorkloadEvaluator:
         )
         self._compiled[query_id] = compiled
         return compiled
+
+    def upper_bound(self, query_id: int) -> float:
+        """Largest IV any candidate of this query can ever realize.
+
+        The bound holds for *any* server availability (see
+        :meth:`_compile_plan`), which makes it safe for admission control:
+        a query whose bound is already below the floor can be shed without
+        realizing a single plan.
+        """
+        compiled = self._compiled_query(query_id)
+        if not compiled.suffix_bounds:  # pragma: no cover - never empty
+            return 0.0
+        return compiled.suffix_bounds[0]
+
+    def rebase(self, free_at: dict[int, float]) -> None:
+        """Re-root evaluation on committed mid-stream server state.
+
+        After this call every evaluation — fast path and naive alike —
+        starts from ``free_at`` instead of idle servers, so GA fitness
+        scores candidate orders *given what has already been dispatched*.
+        The prefix trie is rebuilt (its cached prefixes assumed the old
+        base); the choice memo survives because it is keyed on the exact
+        site clocks it was computed under.
+        """
+        with self._lock:
+            self._base_free_at = dict(free_at)
+            self._trie = _TrieNode(dict(free_at), None, 0.0)
+            self.stats.trie_entries = 0
 
     # -- schedule replay ---------------------------------------------------
 
@@ -734,7 +765,7 @@ class WorkloadEvaluator:
         """
         if len(set(order)) != len(order):
             raise OptimizationError("sequence must not repeat query ids")
-        free_at: dict[int, float] = {}
+        free_at: dict[int, float] = dict(self._base_free_at)
         result = EvaluationResult()
         for query_id in order:
             query = self.workload.query(query_id)

@@ -1,0 +1,408 @@
+"""Online MQO: rolling-window scheduling of a live query stream.
+
+The paper's MQO (Section 3.2) optimizes a workload it holds in hand; its
+own premise — near real-time BI over continuously refreshed replicas —
+means queries actually *arrive over time*.  This module closes that gap
+with an event-driven scheduler that keeps the batch machinery (conflict
+groups, GA ordering, the analytic evaluator) but applies it repeatedly to
+a moving frontier:
+
+* **Admission** — an arriving query is admitted to a bounded pending
+  queue; if its IV *upper bound* (best case over every candidate plan,
+  any availability) is already below ``iv_floor`` it is **shed** — it can
+  never pay for its seat.  When the queue is full the query is
+  **deferred** and re-queued at the next window close.
+* **Rolling re-optimization** — each time the window closes or a running
+  query completes (and the pending set changed since the last pass), the
+  not-yet-started queries are re-grouped into conflict groups and each
+  group's order is re-optimized by the GA, **warm-started** from the
+  previous pass's best permutation (an extra seed chromosome) so
+  convergence cost amortizes across windows.
+* **Dispatch** — the head of the optimized plan is realized against
+  committed server state and started, but only once no earlier event
+  (arrival, window, completion) could still change the plan; completions
+  feed back into the event timeline.
+
+Equivalence anchor: with admission disabled (``iv_floor=0``, a queue that
+fits the whole stream, ``eager_start=False``) and one window spanning all
+arrivals, exactly one optimization pass runs over the full workload with
+the same GA seeds and seed chromosome as the batch path — the decision is
+bit-identical to :meth:`WorkloadScheduler.schedule`
+(``tests/test_mqo_online_properties.py`` proves it property-style).
+"""
+
+from __future__ import annotations
+
+import time as _time
+import typing
+from dataclasses import dataclass, field
+
+from repro.core.enumeration import CostProvider
+from repro.core.value import DiscountRates
+from repro.errors import OptimizationError
+from repro.federation.catalog import Catalog
+from repro.mqo.conflict import conflict_groups, execution_ranges
+from repro.mqo.evaluator import (
+    Assignment,
+    EvaluationResult,
+    EvaluatorStats,
+    WorkloadEvaluator,
+)
+from repro.mqo.ga import GAConfig, GeneticAlgorithm
+from repro.obs import events
+from repro.sim.timeline import Timeline
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import Tracer
+    from repro.workload.query import Workload
+
+__all__ = [
+    "OnlineConfig",
+    "OnlineStats",
+    "WindowRecord",
+    "OnlineDecision",
+    "OnlineMQOScheduler",
+]
+
+#: Spacing of GA seeds between optimization passes.  A prime stride keeps
+#: pass ``k``'s group seeds (``seed + k*stride + group``) disjoint from
+#: pass ``k+1``'s for any realistic group count, and stride 0 on the first
+#: pass makes it coincide with the batch scheduler's ``seed + group``.
+_PASS_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Knobs of the online scheduling loop."""
+
+    #: Rolling re-optimization period (minutes of stream time).
+    window: float = 5.0
+    #: Bound on the pending queue (admitted + planned, not yet started).
+    max_pending: int = 64
+    #: Admission floor: shed a query whose IV upper bound is below this.
+    iv_floor: float = 0.0
+    #: Optimize immediately when a query arrives to an idle system rather
+    #: than waiting for the window to close (cuts idle latency; turn off
+    #: for bit-exact batch equivalence).
+    eager_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise OptimizationError(f"window must be > 0, got {self.window}")
+        if self.max_pending < 1:
+            raise OptimizationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.iv_floor < 0:
+            raise OptimizationError(
+                f"iv_floor must be >= 0, got {self.iv_floor}"
+            )
+
+
+@dataclass
+class OnlineStats:
+    """Counters of one online run (numeric fields feed ``repro.obs`` metrics)."""
+
+    submitted: int = 0    #: queries seen on the arrival stream
+    admitted: int = 0     #: queries accepted into the pending queue
+    shed: int = 0         #: queries rejected by the IV floor
+    deferred: int = 0     #: arrivals parked because the queue was full
+    requeued: int = 0     #: deferred queries later admitted at a window
+    dispatched: int = 0   #: queries started (each exactly once)
+    windows: int = 0      #: re-optimization passes run
+    ga_runs: int = 0      #: GA invocations across all passes
+    warm_seeds: int = 0   #: GA runs seeded with the previous incumbent
+    reopt_seconds: float = 0.0  #: wall-clock spent re-optimizing
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One re-optimization pass (the audit trail behind ``MQO_WINDOW``)."""
+
+    index: int
+    time: float            #: stream time the pass ran at
+    trigger: str           #: "window" | "completion" | "idle"
+    pending: int           #: not-yet-started queries optimized over
+    groups: int            #: conflict groups formed this pass
+    order: tuple[int, ...]  #: the pass's decided dispatch order
+    ga_runs: int
+    warm_seeded: int
+    reopt_seconds: float
+
+
+@dataclass
+class OnlineDecision:
+    """The online scheduler's output (mirrors ``ScheduleDecision``)."""
+
+    result: EvaluationResult
+    shed: list[int] = field(default_factory=list)
+    windows: list[WindowRecord] = field(default_factory=list)
+    stats: OnlineStats = field(default_factory=OnlineStats)
+    evaluator_stats: EvaluatorStats | None = None
+
+    @property
+    def total_information_value(self) -> float:
+        """Total realized IV of the executed (non-shed) queries."""
+        return self.result.total_information_value
+
+    @property
+    def mean_information_value(self) -> float:
+        """Mean realized IV over executed queries."""
+        return self.result.mean_information_value
+
+    @property
+    def permutation(self) -> list[int]:
+        """The realized dispatch order."""
+        return [a.query.query_id for a in self.result.assignments]
+
+
+class OnlineMQOScheduler:
+    """Rolling-window MQO over a query arrival stream."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_provider: CostProvider,
+        default_rates: DiscountRates,
+        ga_config: GAConfig | None = None,
+        seed: int = 0,
+        max_candidates: int = 64,
+        tracer: "Tracer | None" = None,
+        config: OnlineConfig | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.cost_provider = cost_provider
+        self.default_rates = default_rates
+        self.ga_config = ga_config or GAConfig()
+        self.seed = seed
+        self.max_candidates = max_candidates
+        self.tracer = tracer
+        self.config = config or OnlineConfig()
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self, workload: "Workload") -> OnlineDecision:
+        """Replay the workload's arrival stream through the online loop."""
+        if len(workload) == 0:
+            raise OptimizationError("cannot schedule an empty workload")
+        config = self.config
+        evaluator = WorkloadEvaluator(
+            self.catalog,
+            self.cost_provider,
+            self.default_rates,
+            workload,
+            max_candidates=self.max_candidates,
+        )
+        stats = OnlineStats()
+        decision = OnlineDecision(
+            result=EvaluationResult(), stats=stats,
+            evaluator_stats=evaluator.stats,
+        )
+
+        timeline = Timeline()
+        ordered = workload.sorted_by_arrival()
+        arrivals_left = len(ordered)
+        for query in ordered:
+            timeline.push(
+                workload.arrival_of(query.query_id), "arrival", query.query_id
+            )
+        first_arrival = workload.arrival_of(ordered[0].query_id)
+        timeline.push(first_arrival + config.window, "window", None)
+
+        queue: list[int] = []      # admitted, awaiting optimization
+        plan: list[int] = []       # optimized dispatch order
+        deferred: list[int] = []   # queue-overflow parking lot
+        running: set[int] = set()
+        free_at: dict[int, float] = {}
+        incumbent: list[int] = []  # previous pass's order (warm start)
+        dirty = False              # pending set changed since last pass
+        pass_serial = 0
+
+        def emit(kind: str, subject: str, **details) -> None:
+            if self.tracer is not None:
+                self.tracer.emit(kind, subject, **details)
+
+        def pending_ids() -> list[int]:
+            return plan + queue
+
+        def admit_room() -> bool:
+            return len(plan) + len(queue) < config.max_pending
+
+        def release_deferred() -> None:
+            nonlocal dirty
+            while deferred and admit_room():
+                qid = deferred.pop(0)
+                queue.append(qid)
+                stats.requeued += 1
+                stats.admitted += 1
+                dirty = True
+                emit(
+                    events.MQO_ADMIT, workload.query(qid).name,
+                    qid=qid, requeued=True,
+                )
+
+        def optimize(now: float, trigger: str) -> None:
+            nonlocal dirty, pass_serial, incumbent, plan
+            pending = pending_ids()
+            began = _time.perf_counter()
+            evaluator.rebase(free_at)
+            ranges = execution_ranges(evaluator, query_ids=pending)
+            groups = conflict_groups(ranges)
+            # Stable sort: ties keep pending order, which on the first pass
+            # is admission order — exactly the batch scheduler's
+            # ``sorted_by_arrival`` tie-breaking.
+            arrival_order = sorted(pending, key=workload.arrival_of)
+            group_orders: dict[int, list[int]] = {}
+            ga_runs = 0
+            warm_seeded = 0
+            for index, group in enumerate(groups):
+                if len(group) < 2:
+                    group_orders[index] = list(group)
+                    continue
+                group_set = set(group)
+                seeds = [
+                    [qid for qid in arrival_order if qid in group_set]
+                ]
+                carried = [qid for qid in incumbent if qid in group_set]
+                if len(carried) >= 2:
+                    # Warm start: members carried over from the previous
+                    # pass keep their decided relative order; members new
+                    # to this pass append in arrival order.
+                    carried_set = set(carried)
+                    warm = carried + [
+                        qid for qid in seeds[0] if qid not in carried_set
+                    ]
+                    if warm != seeds[0]:
+                        seeds.append(warm)
+                        warm_seeded += 1
+                        stats.warm_seeds += 1
+                ga = GeneticAlgorithm(
+                    genes=group,
+                    fitness=evaluator.sequence_fitness,
+                    config=self.ga_config,
+                    seed=self.seed + pass_serial * _PASS_SEED_STRIDE + index,
+                    evaluator_stats=evaluator.stats,
+                )
+                outcome = ga.run(seed_chromosomes=seeds)
+                group_orders[index] = outcome.best
+                ga_runs += 1
+                stats.ga_runs += 1
+            ordered_groups = sorted(
+                range(len(groups)),
+                key=lambda index: min(
+                    workload.arrival_of(qid) for qid in groups[index]
+                ),
+            )
+            new_plan: list[int] = []
+            for index in ordered_groups:
+                new_plan.extend(group_orders[index])
+            elapsed = _time.perf_counter() - began
+            plan[:] = new_plan
+            queue.clear()
+            incumbent = list(new_plan)
+            dirty = False
+            record = WindowRecord(
+                index=len(decision.windows),
+                time=now,
+                trigger=trigger,
+                pending=len(pending),
+                groups=len(groups),
+                order=tuple(new_plan),
+                ga_runs=ga_runs,
+                warm_seeded=warm_seeded,
+                reopt_seconds=elapsed,
+            )
+            decision.windows.append(record)
+            stats.windows += 1
+            stats.reopt_seconds += elapsed
+            pass_serial += 1
+            emit(
+                events.MQO_WINDOW, f"window:{record.index}",
+                index=record.index, trigger=trigger,
+                pending=record.pending, groups=record.groups,
+                order=list(record.order),
+            )
+
+        def best_assignment(qid: int) -> Assignment:
+            query = workload.query(qid)
+            arrival = workload.arrival_of(qid)
+            best: Assignment | None = None
+            for candidate in evaluator.candidates(query):
+                assignment = evaluator._realize(candidate, arrival, free_at)
+                if best is None or (
+                    assignment.information_value > best.information_value
+                ):
+                    best = assignment
+            assert best is not None  # candidates never empty
+            return best
+
+        def dispatch(now: float) -> None:
+            # Start plan heads whose begin precedes every event that could
+            # still change the plan; realization is a pure function of the
+            # order and committed state, so *when* we commit is irrelevant
+            # to the schedule — only re-optimization opportunities matter.
+            while plan:
+                assignment = best_assignment(plan[0])
+                if timeline and assignment.begin > timeline.peek_time():
+                    break
+                qid = plan.pop(0)
+                evaluator._commit(assignment, free_at)
+                decision.result.assignments.append(assignment)
+                running.add(qid)
+                stats.dispatched += 1
+                timeline.push(
+                    max(assignment.completed, now), "completion", qid
+                )
+
+        while timeline:
+            now, tag, payload = timeline.pop()
+            if tag == "arrival":
+                arrivals_left -= 1
+                qid = payload
+                query = workload.query(qid)
+                stats.submitted += 1
+                bound = evaluator.upper_bound(qid)
+                if bound < config.iv_floor:
+                    decision.shed.append(qid)
+                    stats.shed += 1
+                    emit(
+                        events.MQO_SHED, query.name,
+                        qid=qid, bound=bound, floor=config.iv_floor,
+                    )
+                elif not admit_room():
+                    deferred.append(qid)
+                    stats.deferred += 1
+                else:
+                    queue.append(qid)
+                    stats.admitted += 1
+                    dirty = True
+                    emit(events.MQO_ADMIT, query.name, qid=qid, requeued=False)
+                    if (
+                        config.eager_start
+                        and dirty
+                        and not running
+                        and not plan
+                    ):
+                        optimize(now, "idle")
+            elif tag == "window":
+                release_deferred()
+                if dirty and pending_ids():
+                    optimize(now, "window")
+                if arrivals_left or queue or deferred or plan:
+                    timeline.push(now + config.window, "window", None)
+            else:  # completion
+                running.discard(payload)
+                release_deferred()
+                if dirty and pending_ids():
+                    optimize(now, "completion")
+            dispatch(now)
+
+        # No events left: everything admitted must drain unconditionally.
+        if queue or deferred:  # pragma: no cover - windows drain these
+            queue.extend(deferred)
+            deferred.clear()
+            optimize(
+                max(free_at.values(), default=0.0), "window"
+            )
+            dispatch(0.0)
+        return decision

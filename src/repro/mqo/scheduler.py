@@ -115,7 +115,8 @@ class WorkloadScheduler:
             if len(group) < 2:
                 group_orders[index] = list(group)
                 continue
-            seed_order = [qid for qid in arrival_order if qid in set(group)]
+            group_set = set(group)
+            seed_order = [qid for qid in arrival_order if qid in group_set]
             ga = GeneticAlgorithm(
                 genes=group,
                 fitness=evaluator.sequence_fitness,
@@ -236,11 +237,10 @@ class WorkloadScheduler:
             result.assignments.append(best_assignment)
             del pending[best_qid]
             # The next dispatch decision happens when the chosen query has
-            # finished processing — while it runs, new queries keep arriving
-            # and will compete with whatever is still waiting (this is what
-            # makes starvation possible, and what aging then prevents).
-            clock = max(
-                clock,
-                best_assignment.begin + best_assignment.plan.cost.processing,
-            )
+            # actually completed — remote legs and result transmission
+            # included, not just local processing — so queries arriving
+            # while results are still in flight compete with whatever is
+            # waiting (this is what makes starvation possible, and what
+            # aging then prevents).
+            clock = max(clock, best_assignment.completed)
         return result

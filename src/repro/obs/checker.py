@@ -102,6 +102,7 @@ class TraceChecker:
             self._check_ledger(entry, lifecycles.get(qid, []), violations)
         self._check_completeness(lifecycles, ledgers, violations)
         self._check_faults(records, violations)
+        self._check_online(records, violations)
         return violations
 
     def check_system(self, system) -> list[Violation]:
@@ -366,6 +367,74 @@ class TraceChecker:
                     "ledger-present", subject,
                     f"qid {qid} executed without an audit ledger entry",
                 ))
+
+    def _check_online(
+        self, records: Sequence[TraceRecord], violations: list[Violation]
+    ) -> None:
+        """Online-MQO invariants: window ordering and admission consistency.
+
+        * **window-monotonic** — ``mqo.window`` indices strictly increase;
+        * **admit-unique** / **shed-unique** — a query is admitted at most
+          once per admission (re-queues are flagged ``requeued``) and shed
+          at most once, never both;
+        * **window-order-admitted** — every query a window orders was
+          admitted before that window record;
+        * **shed-no-exec** — a shed query never starts executing.
+        """
+        last_window = -1
+        admitted: set[int] = set()
+        shed: set[int] = set()
+        executed: set[int] = set()
+        for record in records:
+            if record.kind == events.MQO_WINDOW:
+                index = record.detail.get("index", -1)
+                if index <= last_window:
+                    violations.append(Violation(
+                        "window-monotonic", record.subject,
+                        f"window index {index} after {last_window}",
+                    ))
+                last_window = max(last_window, index)
+                for qid in record.detail.get("order", []):
+                    if qid not in admitted:
+                        violations.append(Violation(
+                            "window-order-admitted", record.subject,
+                            f"window orders qid {qid} before its admission",
+                        ))
+            elif record.kind == events.MQO_ADMIT:
+                qid = record.detail.get("qid")
+                if qid in shed:
+                    violations.append(Violation(
+                        "admit-shed-exclusive", record.subject,
+                        f"qid {qid} admitted after being shed",
+                    ))
+                if qid in admitted and not record.detail.get("requeued"):
+                    violations.append(Violation(
+                        "admit-unique", record.subject,
+                        f"qid {qid} admitted twice",
+                    ))
+                admitted.add(qid)
+            elif record.kind == events.MQO_SHED:
+                qid = record.detail.get("qid")
+                if qid in shed:
+                    violations.append(Violation(
+                        "shed-unique", record.subject,
+                        f"qid {qid} shed twice",
+                    ))
+                if qid in admitted:
+                    violations.append(Violation(
+                        "admit-shed-exclusive", record.subject,
+                        f"qid {qid} shed after being admitted",
+                    ))
+                shed.add(qid)
+            elif record.kind in (events.EXEC_START, events.COMPLETE):
+                qid = record.detail.get("qid")
+                if qid is not None:
+                    executed.add(qid)
+        for qid in sorted(shed & executed):
+            violations.append(Violation(
+                "shed-no-exec", f"qid:{qid}",
+                f"qid {qid} was shed by admission control but executed",
+            ))
 
     def _check_faults(
         self, records: Sequence[TraceRecord], violations: list[Violation]

@@ -25,6 +25,7 @@ __all__ = [
     "SYNC_APPLY", "SYNC_SKIP", "SYNC_DELAY",
     "FAULT_DOWN", "FAULT_UP",
     "MQO_GROUPS", "MQO_GA", "MQO_ORDER",
+    "MQO_WINDOW", "MQO_ADMIT", "MQO_SHED",
     "QUERY_LIFECYCLE_KINDS", "LEG_KINDS",
 ]
 
@@ -59,6 +60,11 @@ FAULT_UP = "fault.up"          #: site outage window closed
 MQO_GROUPS = "mqo.groups"      #: conflict groups formed
 MQO_GA = "mqo.ga"              #: one group's GA ordering finished
 MQO_ORDER = "mqo.order"        #: final realized permutation
+
+# -- online MQO (subject = "window:<n>" / query name) ----------------------
+MQO_WINDOW = "mqo.window"      #: one re-optimization pass (detail: index/order)
+MQO_ADMIT = "mqo.admit"        #: query admitted to the pending queue
+MQO_SHED = "mqo.shed"          #: query shed by admission control (IV floor)
 
 #: Kinds that participate in a per-query span tree.
 QUERY_LIFECYCLE_KINDS = frozenset({

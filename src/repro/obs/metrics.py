@@ -274,6 +274,10 @@ def registry_from_system(system: "FederatedSystem") -> MetricsRegistry:
     if system.fault_stats is not None:
         registry.ingest_counters("faults", system.fault_stats)
 
+    online = getattr(system, "online", None)
+    if online is not None:
+        registry.ingest_counters("mqo.online", online.stats)
+
     if system.tracer is not None:
         registry.counter("trace.records").inc(len(system.tracer))
         registry.counter("trace.dropped").inc(system.tracer.dropped)

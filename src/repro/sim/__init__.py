@@ -14,6 +14,7 @@ from repro.sim.process import Interrupt, Process
 from repro.sim.resource import PriorityResource, Request, Resource
 from repro.sim.rng import RandomSource
 from repro.sim.scheduler import Simulator
+from repro.sim.timeline import Timeline
 from repro.sim.trace import TraceRecord, Tracer
 from repro.sim.streams import (
     DeterministicStream,
@@ -48,6 +49,7 @@ __all__ = [
     "Simulator",
     "Tally",
     "TimeWeightedMonitor",
+    "Timeline",
     "Timeout",
     "TraceRecord",
     "Tracer",

@@ -1,0 +1,52 @@
+"""A deterministic time-ordered event heap with FIFO tie-breaking.
+
+The discrete-event :class:`~repro.sim.scheduler.Simulator` owns the *real*
+runtime; :class:`Timeline` is the lightweight analytic counterpart used by
+schedulers that replay time without processes — e.g. the online MQO loop
+(:mod:`repro.mqo.online`), which interleaves query arrivals, window closes
+and analytic completions without spinning up a simulation.
+
+Entries at the same instant pop in push order (a monotonically increasing
+sequence number breaks ties), so replays are deterministic and arrival
+order is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+__all__ = ["Timeline"]
+
+
+class Timeline:
+    """Min-heap of ``(time, tag, payload)`` events, FIFO within an instant."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, str, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, tag: str, payload: Any = None) -> None:
+        """Schedule an event; same-time events pop in push order."""
+        heapq.heappush(self._heap, (float(time), self._seq, tag, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, str, Any]:
+        """Remove and return the earliest ``(time, tag, payload)`` event.
+
+        Raises :class:`IndexError` when empty, like ``heapq``.
+        """
+        time, _seq, tag, payload = heapq.heappop(self._heap)
+        return time, tag, payload
+
+    def peek_time(self) -> float:
+        """Time of the earliest pending event (raises IndexError if empty)."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

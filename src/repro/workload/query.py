@@ -88,27 +88,56 @@ class Workload:
 
     queries: list[DSSQuery] = field(default_factory=list)
     arrivals: dict[int, float] = field(default_factory=dict)
+    #: Lazy ``query_id → DSSQuery`` index; rebuilt whenever it falls out of
+    #: step with ``queries`` (e.g. after direct list mutation).
+    _index: dict[int, DSSQuery] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if len({query.query_id for query in self.queries}) != len(self.queries):
+            raise WorkloadError("workload constructed with duplicate query ids")
+
+    def _lookup(self) -> dict[int, DSSQuery]:
+        index = self._index
+        if index is None or len(index) != len(self.queries):
+            index = {query.query_id: query for query in self.queries}
+            if len(index) != len(self.queries):
+                raise WorkloadError("workload contains duplicate query ids")
+            self._index = index
+        return index
 
     def add(self, query: DSSQuery, arrival: float | None = None) -> None:
         """Append a query, optionally fixing its arrival time."""
-        if any(existing.query_id == query.query_id for existing in self.queries):
+        index = self._lookup()
+        if query.query_id in index:
             raise WorkloadError(f"duplicate query id {query.query_id}")
         self.queries.append(query)
+        index[query.query_id] = query
         if arrival is not None:
             if arrival < 0:
                 raise WorkloadError(f"arrival time must be >= 0, got {arrival}")
             self.arrivals[query.query_id] = arrival
 
     def arrival_of(self, query_id: int) -> float:
-        """Arrival time of a query (0.0 when unspecified)."""
-        return self.arrivals.get(query_id, 0.0)
+        """Arrival time of a query (0.0 when the query has none specified).
+
+        Unknown ids raise :class:`WorkloadError` — a silent 0.0 here would
+        disguise a wiring mistake as "arrived at t=0".
+        """
+        arrival = self.arrivals.get(query_id)
+        if arrival is not None:
+            return arrival
+        if query_id not in self._lookup():
+            raise WorkloadError(f"workload has no query id {query_id}")
+        return 0.0
 
     def query(self, query_id: int) -> DSSQuery:
         """Look up a query by id."""
-        for query in self.queries:
-            if query.query_id == query_id:
-                return query
-        raise WorkloadError(f"workload has no query id {query_id}")
+        try:
+            return self._lookup()[query_id]
+        except KeyError:
+            raise WorkloadError(f"workload has no query id {query_id}") from None
 
     def tables_touched(self) -> set[str]:
         """Union of all tables any query reads."""

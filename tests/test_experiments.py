@@ -138,6 +138,37 @@ class TestRunners:
             "ivqp", "ivqp-partial", "federation", "warehouse"
         }
 
+    def test_reissue_stream_round_trips_every_field(self):
+        # Regression: the old re-id helper copied DSSQuery fields one by
+        # one, silently dropping any field added to the dataclass later.
+        # dataclasses.replace must preserve everything except query_id.
+        import dataclasses
+
+        from repro.experiments.runner import reissue_stream
+        from repro.workload.query import DSSQuery
+
+        query = DSSQuery(
+            query_id=42,
+            name="full",
+            tables=("a", "b"),
+            business_value=2.5,
+            rates=DiscountRates(0.02, 0.07),
+            base_work=1234.5,
+        )
+        stream = reissue_stream([query], rounds=3)
+        assert [q.query_id for q in stream] == [1, 2, 3]
+        for copy in stream:
+            for spec in dataclasses.fields(DSSQuery):
+                if spec.name == "query_id":
+                    continue
+                assert getattr(copy, spec.name) == getattr(query, spec.name)
+
+    def test_reissue_stream_rejects_zero_rounds(self):
+        from repro.experiments.runner import reissue_stream
+
+        with pytest.raises(ConfigError):
+            reissue_stream([], rounds=0)
+
 
 class TestPaperShapesSmall:
     """Reduced-size versions of the headline comparisons."""

@@ -1,0 +1,354 @@
+"""Unit tests: the rolling-window online MQO scheduler.
+
+Covers admission control (IV-floor shedding, bounded queue deferral and
+re-queue), window accounting, warm starts, trace events, the
+``FederatedSystem`` streaming submit path, ``run_stream(online=True)``
+and the checker's online invariant rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.value import DiscountRates
+from repro.errors import OptimizationError
+from repro.experiments.config import TpchSetup, sync_interval_for_ratio
+from repro.experiments.runner import run_stream
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.mqo.ga import GAConfig
+from repro.mqo.online import (
+    OnlineConfig,
+    OnlineMQOScheduler,
+    OnlineStats,
+    WindowRecord,
+)
+from repro.obs import events
+from repro.obs.checker import TraceChecker
+from repro.sim.timeline import Timeline
+from repro.sim.trace import TraceRecord, Tracer
+from repro.workload.query import DSSQuery, Workload
+
+from tests.test_mqo_scheduling import build_catalog, burst_workload
+
+
+def build_online(
+    config: OnlineConfig | None = None,
+    rates: DiscountRates | None = None,
+    params: CostParameters | None = None,
+    tracer: Tracer | None = None,
+    generations: int = 10,
+    seed: int = 1,
+) -> OnlineMQOScheduler:
+    catalog = build_catalog()
+    cost_model = CostModel(catalog, params=params or CostParameters())
+    return OnlineMQOScheduler(
+        catalog,
+        cost_model,
+        rates or DiscountRates.symmetric(0.1),
+        ga_config=GAConfig(generations=generations),
+        seed=seed,
+        tracer=tracer,
+        config=config,
+    )
+
+
+class TestTimeline:
+    def test_orders_by_time(self):
+        timeline = Timeline()
+        timeline.push(3.0, "c")
+        timeline.push(1.0, "a")
+        timeline.push(2.0, "b")
+        assert [timeline.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_within_an_instant(self):
+        timeline = Timeline()
+        for tag in ("first", "second", "third"):
+            timeline.push(5.0, tag)
+        assert [timeline.pop()[1] for _ in range(3)] == [
+            "first", "second", "third",
+        ]
+
+    def test_peek_len_bool(self):
+        timeline = Timeline()
+        assert not timeline and len(timeline) == 0
+        timeline.push(2.0, "x", payload=42)
+        assert timeline and len(timeline) == 1
+        assert timeline.peek_time() == 2.0
+        assert timeline.pop() == (2.0, "x", 42)
+        with pytest.raises(IndexError):
+            timeline.pop()
+
+
+class TestOnlineConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(OptimizationError):
+            OnlineConfig(window=0.0)
+        with pytest.raises(OptimizationError):
+            OnlineConfig(max_pending=0)
+        with pytest.raises(OptimizationError):
+            OnlineConfig(iv_floor=-0.1)
+
+
+class TestOnlineScheduling:
+    def test_everyone_admitted_executes_exactly_once(self):
+        scheduler = build_online(OnlineConfig(window=2.0, max_pending=16))
+        workload = burst_workload(count=6)
+        decision = scheduler.run(workload)
+        assert sorted(decision.permutation) == [1, 2, 3, 4, 5, 6]
+        assert decision.stats.dispatched == 6
+        assert decision.stats.shed == 0
+        assert decision.shed == []
+
+    def test_empty_workload_rejected(self):
+        scheduler = build_online()
+        with pytest.raises(OptimizationError):
+            scheduler.run(Workload())
+
+    def test_windows_are_recorded(self):
+        scheduler = build_online(
+            OnlineConfig(window=0.3, max_pending=16, eager_start=False)
+        )
+        decision = scheduler.run(burst_workload(count=6, gap=0.4))
+        assert decision.stats.windows == len(decision.windows) >= 2
+        for earlier, later in zip(decision.windows, decision.windows[1:]):
+            assert later.index == earlier.index + 1
+            assert later.time >= earlier.time
+        for record in decision.windows:
+            assert isinstance(record, WindowRecord)
+            assert record.trigger in {"window", "completion", "idle"}
+            assert record.reopt_seconds >= 0.0
+        assert decision.stats.reopt_seconds >= sum(
+            w.reopt_seconds for w in decision.windows
+        ) * 0.99
+
+    def test_iv_floor_sheds_hopeless_queries(self):
+        # A floor above every candidate's best-case IV sheds the query; the
+        # remaining stream still runs.
+        scheduler = build_online(
+            OnlineConfig(window=2.0, max_pending=16, iv_floor=0.5)
+        )
+        workload = Workload()
+        workload.add(
+            DSSQuery(query_id=1, name="good", tables=("t0",),
+                     base_work=2_000.0),
+            arrival=1.0,
+        )
+        # Enormous base work => long processing => IV decays below any
+        # reasonable floor even in the best case.
+        workload.add(
+            DSSQuery(query_id=2, name="doomed", tables=("t1",),
+                     base_work=500_000.0),
+            arrival=1.2,
+        )
+        decision = scheduler.run(workload)
+        assert decision.shed == [2]
+        assert decision.stats.shed == 1
+        assert decision.permutation == [1]
+        assert all(
+            a.query.query_id != 2 for a in decision.result.assignments
+        )
+
+    def test_bounded_queue_defers_and_requeues(self):
+        scheduler = build_online(
+            OnlineConfig(window=1.0, max_pending=2, eager_start=False)
+        )
+        decision = scheduler.run(burst_workload(count=6, gap=0.05))
+        assert decision.stats.deferred > 0
+        assert decision.stats.requeued == decision.stats.deferred
+        # Deferral delays, never drops: everyone still executes.
+        assert sorted(decision.permutation) == [1, 2, 3, 4, 5, 6]
+
+    def test_warm_starts_engage_across_windows(self):
+        scheduler = build_online(
+            OnlineConfig(window=0.15, max_pending=16, eager_start=False)
+        )
+        decision = scheduler.run(burst_workload(count=8, gap=0.1))
+        assert decision.stats.ga_runs >= 2
+        assert decision.stats.warm_seeds >= 1
+
+    def test_online_beats_fifo_under_contention(self):
+        params = CostParameters(
+            local_throughput=1_000.0, remote_throughput=400.0
+        )
+        rates = DiscountRates.symmetric(0.15)
+        scheduler = build_online(
+            OnlineConfig(window=1.0, max_pending=16), rates=rates,
+            params=params,
+        )
+        workload = burst_workload(count=6, gap=0.1)
+        decision = scheduler.run(workload)
+
+        from repro.mqo.scheduler import WorkloadScheduler
+
+        fifo = WorkloadScheduler(
+            scheduler.catalog, scheduler.cost_provider, rates
+        ).fifo(workload)
+        assert (
+            decision.total_information_value
+            >= fifo.total_information_value - 1e-9
+        )
+
+    def test_events_emitted(self):
+        tracer = Tracer(lambda: 0.0)
+        scheduler = build_online(
+            OnlineConfig(window=2.0, max_pending=16), tracer=tracer
+        )
+        scheduler.run(burst_workload(count=4))
+        kinds = [record.kind for record in tracer.records]
+        assert kinds.count(events.MQO_ADMIT) == 4
+        assert events.MQO_WINDOW in kinds
+        assert TraceChecker().check(tracer.records) == []
+
+    def test_shed_event_carries_bound_and_floor(self):
+        tracer = Tracer(lambda: 0.0)
+        scheduler = build_online(
+            OnlineConfig(window=2.0, max_pending=16, iv_floor=0.5),
+            tracer=tracer,
+        )
+        workload = Workload()
+        workload.add(
+            DSSQuery(query_id=1, name="doomed", tables=("t0",),
+                     base_work=500_000.0),
+            arrival=0.5,
+        )
+        workload.add(
+            DSSQuery(query_id=2, name="fine", tables=("t1",),
+                     base_work=2_000.0),
+            arrival=0.6,
+        )
+        scheduler.run(workload)
+        shed = [r for r in tracer.records if r.kind == events.MQO_SHED]
+        assert len(shed) == 1
+        assert shed[0].detail["qid"] == 1
+        assert shed[0].detail["bound"] < shed[0].detail["floor"] == 0.5
+
+
+class TestSystemIntegration:
+    @pytest.fixture(scope="class")
+    def setup(self) -> TpchSetup:
+        return TpchSetup(scale=0.001, seed=3)
+
+    def test_submit_workload_online_realizes_schedule(self, setup):
+        from repro.experiments.runner import _build, reissue_stream
+        from repro.workload.arrival import poisson_arrivals
+
+        config = setup.system_config(
+            "ivqp", DiscountRates.symmetric(0.05),
+            sync_interval_for_ratio(10.0), seed=1,
+        )
+        system = _build(config, "ivqp")
+        queries = reissue_stream(setup.queries()[:6])
+        arrivals = poisson_arrivals(5.0, len(queries), seed=3)
+        workload = Workload.from_queries(queries, arrivals=arrivals)
+        decision = system.submit_workload_online(
+            workload, config=OnlineConfig(window=8.0, max_pending=8)
+        )
+        system.run()
+        assert system.online is decision
+        executed = len(decision.result.assignments)
+        assert len(system.outcomes) == executed == 6
+
+    def test_run_stream_online_mode(self, setup):
+        config = setup.system_config(
+            "ivqp", DiscountRates.symmetric(0.05),
+            sync_interval_for_ratio(10.0), seed=1,
+        )
+        result = run_stream(
+            config, "ivqp", setup.queries()[:5], mean_interarrival=6.0,
+            online=True,
+            online_config=OnlineConfig(window=10.0, max_pending=8),
+        )
+        assert result.online is not None
+        assert result.online.stats.submitted == 5
+        assert len(result.outcomes) == result.online.stats.dispatched
+        assert result.mean_iv > 0.0
+
+    def test_run_stream_batch_mode_has_no_online_decision(self, setup):
+        config = setup.system_config(
+            "ivqp", DiscountRates.symmetric(0.05),
+            sync_interval_for_ratio(10.0), seed=1,
+        )
+        result = run_stream(
+            config, "ivqp", setup.queries()[:3], mean_interarrival=6.0,
+        )
+        assert result.online is None
+
+    def test_online_metrics_surface_in_registry(self, setup):
+        config = setup.system_config(
+            "ivqp", DiscountRates.symmetric(0.05),
+            sync_interval_for_ratio(10.0), seed=1,
+        )
+        result = run_stream(
+            config, "ivqp", setup.queries()[:4], mean_interarrival=6.0,
+            online=True,
+            online_config=OnlineConfig(window=10.0, max_pending=8),
+        )
+        counters = result.system.metrics().snapshot()["counters"]
+        assert counters["mqo.online.submitted"] == 4.0
+        assert counters["mqo.online.dispatched"] == float(
+            result.online.stats.dispatched
+        )
+        assert "mqo.online.reopt_seconds" in counters
+
+
+class TestCheckerOnlineRules:
+    def _record(self, kind, subject, time=0.0, **detail) -> TraceRecord:
+        return TraceRecord(time=time, kind=kind, subject=subject, detail=detail)
+
+    def test_window_indices_must_increase(self):
+        records = [
+            self._record(events.MQO_WINDOW, "window:0", index=0, order=[]),
+            self._record(events.MQO_WINDOW, "window:0", index=0, order=[]),
+        ]
+        violations = TraceChecker().check(records)
+        assert any(v.rule == "window-monotonic" for v in violations)
+
+    def test_window_order_requires_prior_admission(self):
+        records = [
+            self._record(events.MQO_WINDOW, "window:0", index=0, order=[7]),
+        ]
+        violations = TraceChecker().check(records)
+        assert any(v.rule == "window-order-admitted" for v in violations)
+
+    def test_shed_then_admit_flagged(self):
+        records = [
+            self._record(events.MQO_SHED, "q", qid=1, bound=0.0, floor=0.5),
+            self._record(events.MQO_ADMIT, "q", qid=1),
+        ]
+        violations = TraceChecker().check(records)
+        assert any(v.rule == "admit-shed-exclusive" for v in violations)
+
+    def test_double_admit_without_requeue_flagged(self):
+        records = [
+            self._record(events.MQO_ADMIT, "q", qid=1, requeued=False),
+            self._record(events.MQO_ADMIT, "q", qid=1, requeued=False),
+        ]
+        violations = TraceChecker().check(records)
+        assert any(v.rule == "admit-unique" for v in violations)
+
+    def test_requeued_admission_is_legal(self):
+        records = [
+            self._record(events.MQO_ADMIT, "q", qid=1, requeued=False),
+            self._record(events.MQO_ADMIT, "q", qid=1, requeued=True),
+            self._record(
+                events.MQO_WINDOW, "window:0", index=0, order=[1]
+            ),
+        ]
+        assert TraceChecker().check(records) == []
+
+    def test_shed_query_must_not_execute(self):
+        records = [
+            self._record(events.MQO_SHED, "q", qid=1, bound=0.0, floor=0.5),
+            self._record(events.EXEC_START, "q", time=1.0, qid=1),
+            self._record(events.COMPLETE, "q", time=2.0, qid=1),
+        ]
+        checker = TraceChecker(require_complete=False)
+        violations = checker.check(records)
+        assert any(v.rule == "shed-no-exec" for v in violations)
+
+
+class TestOnlineStats:
+    def test_defaults_are_zero(self):
+        stats = OnlineStats()
+        assert stats.submitted == stats.dispatched == stats.windows == 0
+        assert stats.reopt_seconds == 0.0

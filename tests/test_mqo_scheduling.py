@@ -257,6 +257,50 @@ class TestWorkloadScheduler:
                 burst_workload(), aging=AgingPolicy(beta=0.1)
             )
 
+    def test_dispatch_clock_waits_for_transmission(self):
+        """Regression: the dispatcher's clock must advance to ``completed``.
+
+        The old code advanced it to ``begin + processing``, deciding the
+        next dispatch while the previous query's result transmission was
+        still in flight — so a high-value query arriving during the
+        transmission window never got to compete.  With a slow network
+        (2 MB result over 200 kB/min ≈ 10 minutes of transmission), q1
+        occupies [0, ~4] processing + ~10 transmission; q2 (BV 1) arrives
+        at 5 and q3 (BV 3) at 8, both inside the in-flight window.  The
+        fixed clock sees both at q1's completion and dispatches q3 first;
+        the buggy clock dispatched q2 alone at t=5.
+        """
+        from repro.federation.network import NetworkModel
+
+        catalog = build_catalog()
+        cost_model = CostModel(
+            catalog, network=NetworkModel(bandwidth=200_000.0)
+        )
+        rates = DiscountRates.symmetric(0.05)
+        scheduler = WorkloadScheduler(
+            catalog, cost_model, rates, ga_config=GAConfig(generations=5),
+            seed=1,
+        )
+        workload = Workload()
+        workload.add(
+            DSSQuery(query_id=1, name="q1", tables=("t0",), base_work=20_000.0),
+            arrival=0.0,
+        )
+        workload.add(
+            DSSQuery(query_id=2, name="q2", tables=("t1",), base_work=2_000.0,
+                     business_value=1.0),
+            arrival=5.0,
+        )
+        workload.add(
+            DSSQuery(query_id=3, name="q3", tables=("t2",), base_work=2_000.0,
+                     business_value=3.0),
+            arrival=8.0,
+        )
+        result = scheduler.greedy_dispatch(workload)
+        first = result.assignments[0]
+        assert first.completed - first.begin - first.plan.cost.processing > 5.0
+        assert [a.query.query_id for a in result.assignments] == [1, 3, 2]
+
     def test_aging_rescues_starving_query(self):
         """One big query + stream of small ones: aging bounds its wait."""
         catalog = build_catalog()

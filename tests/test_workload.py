@@ -68,6 +68,30 @@ class TestWorkload:
         with pytest.raises(WorkloadError):
             workload.add(make_query(1, name="other"))
 
+    def test_duplicate_id_rejected_at_construction(self):
+        # Regression: constructing Workload(queries=[...]) bypassed add()
+        # and its duplicate check, so a duplicate id silently shadowed the
+        # earlier query in lookups.
+        with pytest.raises(WorkloadError):
+            Workload(queries=[make_query(1), make_query(1, name="shadow")])
+
+    def test_lookup_is_indexed_after_direct_list_mutation(self):
+        # The lazy index must rebuild when the queries list is mutated
+        # directly (not through add()).
+        workload = Workload()
+        workload.add(make_query(1))
+        assert workload.query(1).name == "q"
+        workload.queries.append(make_query(2, name="late"))
+        assert workload.query(2).name == "late"
+
+    def test_arrival_of_unknown_id_raises(self):
+        # Regression: arrival_of() returned 0.0 for ids not in the
+        # workload, disguising wiring mistakes as "arrived at t=0".
+        workload = Workload()
+        workload.add(make_query(1), arrival=5.0)
+        with pytest.raises(WorkloadError):
+            workload.arrival_of(99)
+
     def test_negative_arrival_rejected(self):
         workload = Workload()
         with pytest.raises(WorkloadError):
