@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-online trace-check lint ci bench bench-mqo bench-faults bench-online experiments check examples all
+.PHONY: install test test-fast test-faults test-online test-live trace-check lint ci bench bench-mqo bench-faults bench-online bench-gate experiments check examples all
 
 install:
 	pip install -e .
@@ -19,6 +19,11 @@ test-faults:
 
 test-online:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_mqo_online.py tests/test_mqo_online_properties.py -q
+
+# The live-telemetry stack: streaming aggregators, SLO monitor, profiler,
+# bench gate plumbing.
+test-live:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_live.py tests/test_obs_slo.py tests/test_obs_profile.py tests/test_bench_gate.py -q
 
 # Audit the fig4 golden scenario with the trace invariant checker.
 trace-check:
@@ -38,8 +43,10 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	$(MAKE) test-faults
 	$(MAKE) test-online
+	$(MAKE) test-live
 	$(MAKE) trace-check
 	$(MAKE) bench-online
+	$(MAKE) bench-gate
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -53,6 +60,12 @@ bench-faults:
 
 bench-online:
 	PYTHONPATH=src $(PYTHON) benchmarks/online_snapshot.py BENCH_online.json
+
+# Re-run every committed benchmark snapshot and fail on wall-clock or IV
+# regressions; the slowdown multiple comes from BENCH_GATE_TOLERANCE
+# (default 3.0).  Appends BENCH_history.jsonl.
+bench-gate:
+	PYTHONPATH=src $(PYTHON) -m repro bench-gate
 
 experiments:
 	$(PYTHON) -m repro all

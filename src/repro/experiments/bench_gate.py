@@ -1,0 +1,279 @@
+"""Benchmark regression gate: re-run the committed snapshots and diff.
+
+The repo commits three point-in-time benchmark snapshots
+(``BENCH_mqo.json``, ``BENCH_faults.json``, ``BENCH_online.json``) written
+by the ``benchmarks/*_snapshot.py`` scripts.  ``python -m repro bench-gate``
+re-runs those same workloads now, compares the fresh numbers against the
+committed baselines, appends one JSONL line per snapshot to
+``BENCH_history.jsonl`` (an append-only local record of how this machine
+has been trending), and exits non-zero when anything *regressed*:
+
+* **wall-clock metrics** (``*wall_seconds``, ``reopt_seconds``,
+  ``*_ms``) regress when the fresh value exceeds ``baseline x
+  wall_tolerance``.  Wall time is machine- and load-dependent, so the
+  default tolerance is generous (:data:`DEFAULT_WALL_TOLERANCE`) and
+  overridable via ``--wall-tolerance`` / the ``BENCH_GATE_TOLERANCE``
+  environment variable;
+* **IV metrics** (``best_fitness``, ``mean_iv``, everything under
+  ``total_iv``) are produced by seeded, deterministic simulations —
+  higher is better and any drop beyond a tiny relative ``iv_tolerance``
+  is a correctness-grade regression, not noise.
+
+Only those two families gate; counter-style metrics (cache hits, realize
+calls, …) are recorded in the history but deliberately not compared, so
+legitimate algorithm changes don't trip the gate on bookkeeping.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_WALL_TOLERANCE",
+    "DEFAULT_IV_TOLERANCE",
+    "Regression",
+    "GateResult",
+    "flatten_metrics",
+    "classify",
+    "compare",
+    "run_gate",
+    "render_gate",
+]
+
+#: Fresh wall time may be up to this multiple of the committed baseline.
+DEFAULT_WALL_TOLERANCE = 3.0
+#: Relative slack for deterministic IV metrics (catches real regressions,
+#: forgives representation-level churn like JSON rounding).
+DEFAULT_IV_TOLERANCE = 1e-6
+
+#: Snapshot name -> (committed baseline, generating script).
+SNAPSHOTS = {
+    "mqo": ("BENCH_mqo.json", "benchmarks/mqo_snapshot.py"),
+    "faults": ("BENCH_faults.json", "benchmarks/faults_snapshot.py"),
+    "online": ("BENCH_online.json", "benchmarks/online_snapshot.py"),
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that got worse."""
+
+    snapshot: str
+    metric: str       #: dotted path into the snapshot JSON
+    kind: str         #: "wall" or "iv"
+    baseline: float
+    current: float
+
+    def __str__(self) -> str:
+        direction = "slower" if self.kind == "wall" else "lower"
+        return (
+            f"[{self.snapshot}] {self.metric}: {self.current:g} vs "
+            f"baseline {self.baseline:g} ({direction})"
+        )
+
+
+@dataclass
+class GateResult:
+    """Outcome of gating one snapshot."""
+
+    name: str
+    baseline: dict
+    current: dict
+    regressions: list[Regression] = field(default_factory=list)
+    wall_seconds: float = 0.0    #: time spent re-running the benchmark
+
+    @property
+    def passed(self) -> bool:
+        """Whether every gated metric held."""
+        return not self.regressions
+
+
+def flatten_metrics(data: dict, prefix: str = "") -> dict[str, float]:
+    """All numeric leaves of a snapshot as ``dotted.path -> value``."""
+    flat: dict[str, float] = {}
+    items = (
+        data.items()
+        if isinstance(data, dict)
+        else enumerate(data)  # lists (e.g. the faults cells)
+    )
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, (dict, list)):
+            flat.update(flatten_metrics(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[path] = float(value)
+    return flat
+
+
+def classify(path: str) -> str | None:
+    """Which gate family a metric path belongs to (None = not gated)."""
+    leaf = path.rsplit(".", 1)[-1]
+    if "wall_seconds" in leaf or leaf == "reopt_seconds" or leaf.endswith("_ms"):
+        return "wall"
+    if leaf in ("best_fitness", "mean_iv") or "total_iv." in path:
+        return "iv"
+    return None
+
+
+def compare(
+    name: str,
+    baseline: dict,
+    current: dict,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    iv_tolerance: float = DEFAULT_IV_TOLERANCE,
+) -> list[Regression]:
+    """Diff two snapshots; every gated metric that got worse is returned.
+
+    Wall metrics regress when ``current > baseline * wall_tolerance``;
+    IV metrics when ``current < baseline * (1 - iv_tolerance)`` (higher
+    is always better for the gated IV family).  Metrics present on only
+    one side are skipped — adding a new field to a snapshot must not
+    fail the gate until its baseline is refreshed.
+    """
+    if wall_tolerance < 1.0:
+        raise ConfigError(
+            f"wall tolerance must be >= 1.0 (a slowdown multiple), "
+            f"got {wall_tolerance}"
+        )
+    if iv_tolerance < 0.0:
+        raise ConfigError(f"iv tolerance must be >= 0, got {iv_tolerance}")
+    base_flat = flatten_metrics(baseline)
+    current_flat = flatten_metrics(current)
+    regressions: list[Regression] = []
+    for path in sorted(base_flat):
+        if path not in current_flat:
+            continue
+        kind = classify(path)
+        if kind is None:
+            continue
+        base_value = base_flat[path]
+        current_value = current_flat[path]
+        if kind == "wall":
+            if current_value > base_value * wall_tolerance:
+                regressions.append(Regression(
+                    name, path, "wall", base_value, current_value
+                ))
+        elif current_value < base_value * (1.0 - iv_tolerance):
+            regressions.append(Regression(
+                name, path, "iv", base_value, current_value
+            ))
+    return regressions
+
+
+def _load_snapshot_callable(script: Path):
+    """Import a ``benchmarks/*_snapshot.py`` script and return ``snapshot``."""
+    spec = importlib.util.spec_from_file_location(script.stem, script)
+    if spec is None or spec.loader is None:  # pragma: no cover - fs corruption
+        raise ConfigError(f"cannot import snapshot script {script}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "snapshot"):
+        raise ConfigError(f"{script} does not define snapshot()")
+    return module.snapshot
+
+
+def run_gate(
+    names: list[str] | None = None,
+    root: str | Path = ".",
+    wall_tolerance: float | None = None,
+    iv_tolerance: float = DEFAULT_IV_TOLERANCE,
+    history_path: str | Path | None = "BENCH_history.jsonl",
+) -> list[GateResult]:
+    """Re-run the named snapshots (default: all) and gate each one.
+
+    ``wall_tolerance`` falls back to the ``BENCH_GATE_TOLERANCE``
+    environment variable and then :data:`DEFAULT_WALL_TOLERANCE`.  When
+    ``history_path`` is set, one JSONL line per snapshot is appended with
+    the fresh metrics and any regressions.
+    """
+    root = Path(root)
+    if wall_tolerance is None:
+        wall_tolerance = float(
+            os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_WALL_TOLERANCE)
+        )
+    names = list(SNAPSHOTS) if names is None else names
+    results: list[GateResult] = []
+    for name in names:
+        try:
+            baseline_file, script = SNAPSHOTS[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown snapshot {name!r}; expected one of {sorted(SNAPSHOTS)}"
+            )
+        baseline_file = root / baseline_file
+        if not baseline_file.exists():
+            raise ConfigError(
+                f"committed baseline {baseline_file} is missing; run the "
+                f"matching `make bench-{name}` first"
+            )
+        baseline = json.loads(baseline_file.read_text())
+        build = _load_snapshot_callable(root / script)
+        started = time.perf_counter()
+        current = build()
+        elapsed = time.perf_counter() - started
+        result = GateResult(
+            name=name,
+            baseline=baseline,
+            current=current,
+            regressions=compare(
+                name, baseline, current,
+                wall_tolerance=wall_tolerance, iv_tolerance=iv_tolerance,
+            ),
+            wall_seconds=elapsed,
+        )
+        results.append(result)
+        if history_path is not None:
+            _append_history(root / history_path, result, wall_tolerance)
+    return results
+
+
+def _append_history(
+    path: Path, result: GateResult, wall_tolerance: float
+) -> None:
+    line = {
+        "at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "snapshot": result.name,
+        "wall_tolerance": wall_tolerance,
+        "passed": result.passed,
+        "metrics": flatten_metrics(result.current),
+        "regressions": [str(regression) for regression in result.regressions],
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def render_gate(results: list[GateResult]) -> str:
+    """Human-readable gate report (one section per snapshot)."""
+    lines: list[str] = []
+    for result in results:
+        verdict = "PASS" if result.passed else "FAIL"
+        lines.append(
+            f"== bench-gate {result.name}: {verdict} "
+            f"(re-ran in {result.wall_seconds:.1f}s) =="
+        )
+        base_flat = flatten_metrics(result.baseline)
+        current_flat = flatten_metrics(result.current)
+        for path in sorted(base_flat):
+            kind = classify(path)
+            if kind is None or path not in current_flat:
+                continue
+            base_value, current_value = base_flat[path], current_flat[path]
+            ratio = (
+                current_value / base_value if base_value else float("inf")
+            )
+            lines.append(
+                f"  {kind:<4} {path:<44} {base_value:>12.4f} -> "
+                f"{current_value:>12.4f}  (x{ratio:.2f})"
+            )
+        for regression in result.regressions:
+            lines.append(f"  REGRESSION {regression}")
+    return "\n".join(lines)

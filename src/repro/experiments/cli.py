@@ -147,6 +147,77 @@ def _run_trace(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     return exit_code
 
 
+def _run_live_stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """``stream-mqo --live-metrics``: the online run with telemetry attached."""
+    from repro.experiments.live import run_live
+    from repro.obs import TraceChecker, load_slo_rules, registry_from_system
+    from repro.reporting.dashboard import live_report_html, render_dashboard
+
+    rules = load_slo_rules(args.slo) if args.slo else None
+    result = run_live(rules=rules, profile=args.profile)
+    profile_table = (
+        result.profiler.render() if result.profiler is not None else None
+    )
+    body = render_dashboard(
+        result.snapshots[-1], alerts=result.alerts,
+        profile_table=profile_table,
+    )
+
+    checker = TraceChecker()
+    violations = checker.check_system(result.system)
+    violations += checker.check_slo(
+        result.system.tracer.records, result.monitor.rules,
+        window=result.registry.window, half_life=result.registry.half_life,
+    )
+    if violations:
+        listing = "\n".join(str(violation) for violation in violations)
+        body += f"\ntrace-check: {len(violations)} violation(s)\n{listing}\n"
+    else:
+        body += (
+            f"\ntrace-check: OK ({len(result.system.tracer)} records, "
+            f"{len(result.alerts)} alerts audited)\n"
+        )
+
+    if args.html:
+        report = live_report_html(
+            result.snapshots,
+            result.alerts,
+            profile=(
+                result.profiler.attribution()
+                if result.profiler is not None
+                else None
+            ),
+            metrics=registry_from_system(result.system).snapshot(),
+        )
+        with open(args.html, "w") as handle:
+            handle.write(report + "\n")
+        body += f"html report written to {args.html}\n"
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body)
+    else:
+        try:
+            print(body, end="")
+        except BrokenPipeError:
+            pass
+    return 1 if violations else 0
+
+
+def _run_bench_gate(args: argparse.Namespace) -> int:
+    """``bench-gate``: re-run benchmark snapshots and fail on regressions."""
+    from repro.experiments.bench_gate import render_gate, run_gate
+
+    results = run_gate(wall_tolerance=args.wall_tolerance)
+    report = render_gate(results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    return 0 if all(result.passed for result in results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -158,15 +229,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "check", "trace"],
+        choices=sorted(EXPERIMENTS) + ["all", "check", "trace", "bench-gate"],
         help=(
             "which figure to regenerate ('check' audits every claimed "
-            "shape; 'trace' runs an observability scenario)"
+            "shape; 'trace' runs an observability scenario; 'bench-gate' "
+            "re-runs the committed benchmark snapshots and fails on "
+            "regressions)"
         ),
     )
     parser.add_argument(
         "scenario", nargs="?", default=None,
-        help="trace scenario ('trace' subcommand only): fig4 | stream | faults",
+        help=(
+            "trace scenario ('trace' subcommand only): "
+            "fig4 | stream | faults | stream-online"
+        ),
     )
     parser.add_argument(
         "--format", dest="fmt", choices=("text", "csv", "json"),
@@ -198,6 +274,39 @@ def main(argv: list[str] | None = None) -> int:
         help="('trace' only) append the metrics registry snapshot (JSON)",
     )
     parser.add_argument(
+        "--live-metrics", action="store_true",
+        help=(
+            "('stream-mqo' only) run the online scenario with the live "
+            "telemetry stack (streaming aggregators + SLO monitor) and "
+            "render the terminal dashboard"
+        ),
+    )
+    parser.add_argument(
+        "--slo", default=None, metavar="FILE",
+        help=(
+            "(with --live-metrics) JSON file of SLO rules; defaults to "
+            "the stock rule set"
+        ),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "(with --live-metrics) collect the wall-clock profiler and "
+            "append the per-phase attribution table"
+        ),
+    )
+    parser.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="(with --live-metrics) also write a self-contained HTML report",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=None,
+        help=(
+            "('bench-gate' only) allowed wall-clock slowdown multiple; "
+            "defaults to $BENCH_GATE_TOLERANCE or 3.0"
+        ),
+    )
+    parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     args = parser.parse_args(argv)
@@ -206,6 +315,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(parser, args)
     if args.scenario is not None:
         parser.error("a scenario argument is only valid with 'trace'")
+    if args.experiment == "bench-gate":
+        return _run_bench_gate(args)
+    if args.live_metrics:
+        if args.experiment != "stream-mqo":
+            parser.error("--live-metrics is only valid with 'stream-mqo'")
+        return _run_live_stream(parser, args)
+    if args.slo or args.profile or args.html:
+        parser.error("--slo/--profile/--html require --live-metrics")
 
     if args.experiment == "check":
         from repro.experiments.validate import render_report, validate_all

@@ -124,6 +124,7 @@ def run_stream(
     trace: bool = False,
     online: bool = False,
     online_config: "OnlineConfig | None" = None,
+    on_system: "typing.Callable[[FederatedSystem], None] | None" = None,
 ) -> RunResult:
     """Submit ``rounds`` passes over ``queries`` as a Poisson stream.
 
@@ -138,10 +139,17 @@ def run_stream(
     produce no outcome) and the decided schedule is replayed through the
     simulation.  The :class:`~repro.mqo.online.OnlineDecision` comes back
     on :attr:`RunResult.online`.
+
+    ``on_system`` is called with the freshly built system before anything
+    is submitted — the hook point where live telemetry (a
+    :class:`~repro.obs.live.LiveRegistry`, an SLO monitor) subscribes to
+    the tracer so it sees every event of the run.
     """
     if trace and not config.trace:
         config = dataclasses.replace(config, trace=True)
     system = _build(config, approach)
+    if on_system is not None:
+        on_system(system)
     stream = reissue_stream(queries, rounds)
     arrivals = poisson_arrivals(mean_interarrival, len(stream), seed=arrival_seed)
     workload = Workload.from_queries(stream, arrivals=arrivals)

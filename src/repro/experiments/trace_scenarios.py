@@ -16,6 +16,10 @@ metrics registry, or hand the records to the
 * ``faults`` — the EXT3 setup in miniature: the same stream with a seeded
   fault plan (site outages + sync skips/slips) under the retry/failover
   execution policy, exercising every degraded lifecycle path.
+* ``stream-online`` — the EXT4 online-MQO path in miniature: the stream
+  routed through the rolling-window scheduler (admission control may
+  shed) under the same fault plan — the scenario the live-telemetry CLI
+  and the exporter round-trip tests share.
 """
 
 from __future__ import annotations
@@ -35,7 +39,13 @@ from repro.federation.system import FederatedSystem
 from repro.sim.scheduler import Simulator
 from repro.sim.trace import Tracer
 
-__all__ = ["TRACE_SCENARIOS", "trace_fig4", "trace_stream", "trace_faults"]
+__all__ = [
+    "TRACE_SCENARIOS",
+    "trace_fig4",
+    "trace_stream",
+    "trace_faults",
+    "trace_stream_online",
+]
 
 
 def trace_fig4(config: Fig4Config | None = None) -> FederatedSystem:
@@ -134,9 +144,62 @@ def trace_faults(
     return result.system
 
 
+def trace_stream_online(
+    scale: float = 0.002,
+    num_queries: int = 12,
+    rounds: int = 2,
+    mean_interarrival: float = 4.0,
+    outage_rate: float = 0.01,
+    on_system: "Callable[[FederatedSystem], None] | None" = None,
+) -> FederatedSystem:
+    """The EXT4 online-MQO stream in miniature, fully traced.
+
+    Routes the stream through the rolling-window scheduler under the
+    miniature EXT3 fault plan, so the trace carries ``mqo.window`` /
+    ``mqo.admit`` / ``mqo.shed`` events next to degraded lifecycles —
+    everything the live registry and SLO monitor feed on.  ``on_system``
+    is forwarded to :func:`run_stream` so telemetry can attach to the
+    tracer before the first event.
+    """
+    setup = TpchSetup(scale=scale, seed=7)
+    rates = DiscountRates.symmetric(0.05)
+    config = setup.system_config(
+        approach="ivqp",
+        rates=rates,
+        sync_mean_interval=sync_interval_for_ratio(10.0),
+        seed=1,
+    )
+    site_ids = sorted({spec.site for spec in setup.table_specs()})
+    config.fault_plan = FaultPlan.generate(
+        seed=17,
+        horizon=4_000.0,
+        site_ids=site_ids,
+        outage_rate=outage_rate,
+        outage_mean_duration=8.0,
+        sync_skip_prob=0.05,
+        sync_delay_prob=0.10,
+    )
+    config.execution_policy = ExecutionPolicy(
+        max_retries=3, retry_backoff=0.5, failover=True
+    )
+    result = run_stream(
+        config,
+        approach="ivqp",
+        queries=setup.queries()[:num_queries],
+        rounds=rounds,
+        mean_interarrival=mean_interarrival,
+        trace=True,
+        online=True,
+        on_system=on_system,
+    )
+    assert result.system is not None
+    return result.system
+
+
 #: Scenario name → builder, the registry ``python -m repro trace`` offers.
 TRACE_SCENARIOS: dict[str, Callable[[], FederatedSystem]] = {
     "fig4": trace_fig4,
     "stream": trace_stream,
     "faults": trace_faults,
+    "stream-online": trace_stream_online,
 }

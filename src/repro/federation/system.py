@@ -21,6 +21,7 @@ from repro.federation.costmodel import CostModel, CostParameters
 from repro.federation.executor import ExecutionPolicy, PlanExecutor, QueryOutcome
 from repro.federation.faults import FaultInjector, FaultPlan
 from repro.federation.network import NetworkModel
+from repro.obs.profile import PROFILER
 from repro.federation.site import LOCAL_SITE_ID, Site
 from repro.federation.sync import ReplicationManager, build_schedules
 from repro.sim.monitor import Monitor
@@ -230,7 +231,8 @@ class FederatedSystem:
             tracer=self.tracer,
             config=config,
         )
-        decision = scheduler.run(workload)
+        with PROFILER.scope("online.schedule"):
+            decision = scheduler.run(workload)
         self.online = decision
         self.router = ReplayRouter.from_assignments(
             decision.result.assignments, enforce_schedule=True
@@ -246,11 +248,12 @@ class FederatedSystem:
 
     def run(self, until: float | None = None) -> None:
         """Start replication and advance the simulation."""
-        self.replication.start()
-        if until is None:
-            self._drain()
-        else:
-            self.sim.run(until=until)
+        with PROFILER.scope("system.run"):
+            self.replication.start()
+            if until is None:
+                self._drain()
+            else:
+                self.sim.run(until=until)
 
     def _drain(self) -> None:
         """Run until all submitted queries have completed.

@@ -52,6 +52,7 @@ from repro.core.value import DiscountRates, information_value, max_tolerable_lat
 from repro.errors import OptimizationError
 from repro.federation.catalog import Catalog
 from repro.federation.site import LOCAL_SITE_ID
+from repro.obs.profile import PROFILER, profiled
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Sequence
@@ -376,11 +377,12 @@ class WorkloadEvaluator:
                 self.stats.horizon_capped += 1
                 tolerable = CANDIDATE_HORIZON_CAP
             horizon = arrival + tolerable
-            plans = enumerate_plans(
-                query, self.catalog, self.cost_provider, rates,
-                submitted_at=arrival, horizon=horizon, exhaustive=False,
-                availability=self.availability,
-            )
+            with PROFILER.scope("evaluator.enumerate"):
+                plans = enumerate_plans(
+                    query, self.catalog, self.cost_provider, rates,
+                    submitted_at=arrival, horizon=horizon, exhaustive=False,
+                    availability=self.availability,
+                )
             if self.availability is not None:
                 available = [
                     plan
@@ -674,6 +676,7 @@ class WorkloadEvaluator:
 
     # -- evaluation entry points -------------------------------------------
 
+    @profiled("evaluator.realize")
     def evaluate_sequence(self, order: "Sequence[int]") -> EvaluationResult:
         """Realize an arbitrary sequence of distinct workload query ids.
 
@@ -755,6 +758,7 @@ class WorkloadEvaluator:
             return self.evaluate_sequence(permutation)
         return self.evaluate_naive(permutation)
 
+    @profiled("evaluator.realize.naive")
     def evaluate_naive(self, order: "Sequence[int]") -> EvaluationResult:
         """Reference implementation: replay from scratch, no caches.
 

@@ -32,6 +32,7 @@ from repro.mqo.chromosome import (
     random_permutation,
     swap_mutation,
 )
+from repro.obs.profile import PROFILER, profiled
 from repro.sim.rng import RandomSource
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -177,6 +178,7 @@ class GeneticAlgorithm:
 
     # -- evolution ---------------------------------------------------------
 
+    @profiled("ga.run")
     def run(self, seed_chromosomes: Sequence[Sequence[int]] = ()) -> GAResult:
         """Evolve and return the best permutation found.
 
@@ -197,29 +199,30 @@ class GeneticAlgorithm:
             best_fitness = self._score(best)
 
             for _generation in range(cfg.generations):
-                ranked = sorted(population, key=self._score, reverse=True)
-                if self._score(ranked[0]) > best_fitness:
-                    best = list(ranked[0])
-                    best_fitness = self._score(ranked[0])
-                history.append(best_fitness)
+                with PROFILER.scope("ga.generation"):
+                    ranked = sorted(population, key=self._score, reverse=True)
+                    if self._score(ranked[0]) > best_fitness:
+                        best = list(ranked[0])
+                        best_fitness = self._score(ranked[0])
+                    history.append(best_fitness)
 
-                parent_count = max(
-                    2, int(cfg.parent_fraction * cfg.population_size)
-                )
-                parents = ranked[:parent_count]
+                    parent_count = max(
+                        2, int(cfg.parent_fraction * cfg.population_size)
+                    )
+                    parents = ranked[:parent_count]
 
-                next_population: list[list[int]] = [
-                    list(chromosome) for chromosome in ranked[: cfg.elitism]
-                ]
-                while len(next_population) < cfg.population_size:
-                    mother = self.rng.choice(parents)
-                    father = self.rng.choice(parents)
-                    child = order_crossover(mother, father, self.rng)
-                    if self.rng.uniform(0.0, 1.0) < cfg.mutation_rate:
-                        child = swap_mutation(child, self.rng)
-                    next_population.append(child)
-                population = next_population
-                self._score_batch(population, pool)
+                    next_population: list[list[int]] = [
+                        list(chromosome) for chromosome in ranked[: cfg.elitism]
+                    ]
+                    while len(next_population) < cfg.population_size:
+                        mother = self.rng.choice(parents)
+                        father = self.rng.choice(parents)
+                        child = order_crossover(mother, father, self.rng)
+                        if self.rng.uniform(0.0, 1.0) < cfg.mutation_rate:
+                            child = swap_mutation(child, self.rng)
+                        next_population.append(child)
+                    population = next_population
+                    self._score_batch(population, pool)
         finally:
             if pool is not None:
                 pool.shutdown()

@@ -50,6 +50,7 @@ from repro.mqo.evaluator import (
 )
 from repro.mqo.ga import GAConfig, GeneticAlgorithm
 from repro.obs import events
+from repro.obs.profile import profiled
 from repro.sim.timeline import Timeline
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -241,6 +242,7 @@ class OnlineMQOScheduler:
                     qid=qid, requeued=True,
                 )
 
+        @profiled("online.window")
         def optimize(now: float, trigger: str) -> None:
             nonlocal dirty, pass_serial, incumbent, plan
             pending = pending_ids()
@@ -336,6 +338,7 @@ class OnlineMQOScheduler:
             assert best is not None  # candidates never empty
             return best
 
+        @profiled("online.dispatch")
         def dispatch(now: float) -> None:
             # Start plan heads whose begin precedes every event that could
             # still change the plan; realization is a pure function of the

@@ -15,10 +15,33 @@ Three pillars, all built on the :mod:`repro.sim.trace` substrate:
 :mod:`repro.obs.checker` turns any trace into a self-audit:
 ``TraceChecker().check(records) == []`` is the system-wide invariant the
 test harness locks down.
+
+On top of the post-hoc pillars sit the **live** ones (see
+ARCHITECTURE.md §7): :mod:`repro.obs.live` folds the same event stream
+incrementally into sliding-window rates and streaming quantile sketches,
+:mod:`repro.obs.slo` evaluates declarative SLO rules against those live
+snapshots (emitting ``alert.*`` events back into the trace), and
+:mod:`repro.obs.profile` measures the *wall-clock* (not simulated) cost
+of the optimizer and executor hot paths.
 """
 
 from repro.obs import events
 from repro.obs.checker import TraceChecker, Violation
+from repro.obs.live import (
+    EwmaMean,
+    EwmaRate,
+    LiveRegistry,
+    P2Quantile,
+    WindowCounter,
+)
+from repro.obs.profile import PROFILER, ProfileRecord, WallProfiler, profiled
+from repro.obs.slo import (
+    Alert,
+    SLOMonitor,
+    SLORule,
+    default_slo_rules,
+    load_slo_rules,
+)
 from repro.obs.export import (
     from_jsonl,
     ledger_from_records,
@@ -42,6 +65,20 @@ __all__ = [
     "events",
     "TraceChecker",
     "Violation",
+    "LiveRegistry",
+    "EwmaRate",
+    "EwmaMean",
+    "WindowCounter",
+    "P2Quantile",
+    "SLORule",
+    "SLOMonitor",
+    "Alert",
+    "load_slo_rules",
+    "default_slo_rules",
+    "WallProfiler",
+    "ProfileRecord",
+    "PROFILER",
+    "profiled",
     "IVLedgerEntry",
     "VersionProvenance",
     "Counter",

@@ -65,6 +65,20 @@ class Violation:
         return f"[{self.rule}] {self.subject}: {self.message}"
 
 
+#: Rules that can fire *spuriously* when a bounded tracer evicted the oldest
+#: records: they reason about events that precede retained ones (a granted
+#: leg whose ``leg.start`` was dropped, a window ordering an admission that
+#: fell off the front, an ``alert.close`` whose open is gone).  With
+#: ``dropped > 0`` these are downgraded — suppressed rather than reported —
+#: because the trace prefix, not the run, is what's missing.
+PREFIX_SENSITIVE_RULES = frozenset({
+    "leg-order",
+    "window-order-admitted",
+    "alert-alternation",
+    "alert-window",
+})
+
+
 class TraceChecker:
     """Replays a trace and reports every invariant violation.
 
@@ -91,8 +105,17 @@ class TraceChecker:
 
     # -- entry points ----------------------------------------------------------
 
-    def check(self, records: Sequence[TraceRecord]) -> list[Violation]:
-        """Audit a trace; returns all violations (empty = clean)."""
+    def check(
+        self, records: Sequence[TraceRecord], dropped: int = 0
+    ) -> list[Violation]:
+        """Audit a trace; returns all violations (empty = clean).
+
+        ``dropped`` is the number of records a bounded tracer evicted
+        before this trace was read (``tracer.dropped``).  When positive,
+        :data:`PREFIX_SENSITIVE_RULES` are downgraded: the missing prefix
+        makes them unverifiable, not violated.  Queries whose submit fell
+        off the front are likewise excused from completeness rules.
+        """
         violations: list[Violation] = []
         self._check_global_order(records, violations)
         lifecycles, ledgers = self._group(records, violations)
@@ -103,24 +126,79 @@ class TraceChecker:
         self._check_completeness(lifecycles, ledgers, violations)
         self._check_faults(records, violations)
         self._check_online(records, violations)
+        self._check_alerts(records, violations)
+        if dropped > 0:
+            violations = [
+                violation for violation in violations
+                if violation.rule not in PREFIX_SENSITIVE_RULES
+            ]
         return violations
 
     def check_system(self, system) -> list[Violation]:
-        """Audit a live :class:`~repro.federation.system.FederatedSystem`."""
+        """Audit a live :class:`~repro.federation.system.FederatedSystem`.
+
+        Passes the tracer's drop counter through, so capacity-bounded
+        traces are audited with prefix-sensitive rules downgraded.
+        """
         if system.tracer is None:
             raise SimulationError(
                 "system has no tracer (build it with SystemConfig(trace=True))"
             )
-        return self.check(system.tracer.records)
+        return self.check(system.tracer.records, dropped=system.tracer.dropped)
 
-    def assert_clean(self, records: Sequence[TraceRecord]) -> None:
+    def assert_clean(
+        self, records: Sequence[TraceRecord], dropped: int = 0
+    ) -> None:
         """Raise :class:`SimulationError` listing violations, if any."""
-        violations = self.check(records)
+        violations = self.check(records, dropped=dropped)
         if violations:
             listing = "\n".join(str(violation) for violation in violations)
             raise SimulationError(
                 f"trace failed {len(violations)} invariant check(s):\n{listing}"
             )
+
+    def check_slo(
+        self,
+        records: Sequence[TraceRecord],
+        rules: Sequence,
+        window: float = 10.0,
+        half_life: float = 10.0,
+        qos_max_staleness: float | None = None,
+    ) -> list[Violation]:
+        """Audit SLO *coverage*: every breach the trace implies was alerted.
+
+        Replays the non-alert records through a fresh
+        :class:`~repro.obs.slo.SLOMonitor` (same rules and registry
+        parameters as the live run) and compares the derived alert
+        sequence against the ``alert.open`` / ``alert.close`` events the
+        run actually emitted.  A breach with no matching open, an open
+        with no corresponding breach, or mismatched open times are each a
+        ``slo-coverage`` violation.
+        """
+        from repro.obs.slo import SLOMonitor
+
+        expected = SLOMonitor.replay(
+            records, rules, window=window, half_life=half_life,
+            qos_max_staleness=qos_max_staleness,
+        ).alerts
+        actual_opens: dict[str, list[float]] = defaultdict(list)
+        for record in records:
+            if record.kind == events.ALERT_OPEN:
+                actual_opens[record.detail.get("rule", "?")].append(record.time)
+        violations: list[Violation] = []
+        expected_by_rule: dict[str, list[float]] = defaultdict(list)
+        for alert in expected:
+            expected_by_rule[alert.rule].append(alert.opened_at)
+        for rule_name in sorted(set(expected_by_rule) | set(actual_opens)):
+            want = expected_by_rule.get(rule_name, [])
+            got = actual_opens.get(rule_name, [])
+            if want != got:
+                violations.append(Violation(
+                    "slo-coverage", f"slo:{rule_name}",
+                    f"replay derives breaches opening at {want} but the "
+                    f"trace alerted at {got}",
+                ))
+        return violations
 
     # -- grouping -----------------------------------------------------------
 
@@ -435,6 +513,67 @@ class TraceChecker:
                 "shed-no-exec", f"qid:{qid}",
                 f"qid {qid} was shed by admission control but executed",
             ))
+
+    def _check_alerts(
+        self, records: Sequence[TraceRecord], violations: list[Violation]
+    ) -> None:
+        """SLO alert invariants.
+
+        * **alert-alternation** — per rule subject, ``alert.open`` and
+          ``alert.close`` strictly alternate starting with an open
+          (prefix-sensitive: a close whose open was evicted is excused
+          when drops occurred);
+        * **alert-well-formed** — every alert event names its rule,
+          metric, value and thresholds;
+        * **alert-window** — the windows reference real times inside the
+          trace: an open's ``since`` is when the breach began (≤ the open
+          time, within the trace span) and a close's ``opened_at`` equals
+          the matching open event's time.
+        """
+        open_at: dict[str, float | None] = {}
+        span_start = records[0].time if records else 0.0
+        for record in records:
+            if record.kind not in events.ALERT_KINDS:
+                continue
+            for key in ("rule", "metric", "value", "threshold", "clear"):
+                if key not in record.detail:
+                    violations.append(Violation(
+                        "alert-well-formed", record.subject,
+                        f"{record.kind!r} event lacks {key!r}",
+                    ))
+            previous = open_at.get(record.subject)
+            if record.kind == events.ALERT_OPEN:
+                if previous is not None:
+                    violations.append(Violation(
+                        "alert-alternation", record.subject,
+                        f"alert opened at {record.time} while already open "
+                        f"since {previous}",
+                    ))
+                open_at[record.subject] = record.time
+                since = record.detail.get("since")
+                if since is not None and not (
+                    span_start <= since <= record.time
+                ):
+                    violations.append(Violation(
+                        "alert-window", record.subject,
+                        f"open at {record.time} references breach start "
+                        f"{since} outside the trace window",
+                    ))
+            else:  # ALERT_CLOSE
+                if previous is None:
+                    violations.append(Violation(
+                        "alert-alternation", record.subject,
+                        f"alert closed at {record.time} without being open",
+                    ))
+                else:
+                    opened_at = record.detail.get("opened_at")
+                    if opened_at is not None and opened_at != previous:
+                        violations.append(Violation(
+                            "alert-window", record.subject,
+                            f"close references open at {opened_at} but the "
+                            f"open event was at {previous}",
+                        ))
+                open_at[record.subject] = None
 
     def _check_faults(
         self, records: Sequence[TraceRecord], violations: list[Violation]

@@ -26,7 +26,8 @@ __all__ = [
     "FAULT_DOWN", "FAULT_UP",
     "MQO_GROUPS", "MQO_GA", "MQO_ORDER",
     "MQO_WINDOW", "MQO_ADMIT", "MQO_SHED",
-    "QUERY_LIFECYCLE_KINDS", "LEG_KINDS",
+    "ALERT_OPEN", "ALERT_CLOSE",
+    "QUERY_LIFECYCLE_KINDS", "LEG_KINDS", "ALERT_KINDS",
 ]
 
 # -- query lifecycle (subject = query name, detail carries qid) ------------
@@ -66,6 +67,10 @@ MQO_WINDOW = "mqo.window"      #: one re-optimization pass (detail: index/order)
 MQO_ADMIT = "mqo.admit"        #: query admitted to the pending queue
 MQO_SHED = "mqo.shed"          #: query shed by admission control (IV floor)
 
+# -- SLO monitoring (subject = "slo:<rule>") -------------------------------
+ALERT_OPEN = "alert.open"      #: an SLO rule entered breach (detail: value/threshold/since)
+ALERT_CLOSE = "alert.close"    #: the breach cleared (detail: value/opened_at)
+
 #: Kinds that participate in a per-query span tree.
 QUERY_LIFECYCLE_KINDS = frozenset({
     SUBMIT, PLAN, EXEC_START, LEG_START, LEG_BLOCKED, LEG_GRANTED,
@@ -77,3 +82,6 @@ QUERY_LIFECYCLE_KINDS = frozenset({
 LEG_KINDS = frozenset({
     LEG_START, LEG_BLOCKED, LEG_GRANTED, LEG_RETRY, LEG_DONE, LEG_EXHAUSTED,
 })
+
+#: Kinds emitted by the SLO monitor.
+ALERT_KINDS = frozenset({ALERT_OPEN, ALERT_CLOSE})

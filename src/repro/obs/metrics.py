@@ -116,7 +116,16 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution estimate of the ``q``-quantile (0–1)."""
+        """Estimate of the ``q``-quantile (0–1), interpolated within buckets.
+
+        Finds the bucket holding the ``q * count``-th sample, then assumes
+        samples are spread uniformly across that bucket's span and
+        interpolates linearly between its edges (the true minimum /
+        maximum stand in for the open edges of the first and overflow
+        buckets).  The estimate is clamped into ``[min, max]`` and is
+        monotone non-decreasing in ``q``; with all mass in one bucket it
+        degrades gracefully to that bucket's span.
+        """
         if not 0.0 <= q <= 1.0:
             raise SimulationError(f"quantile q must be in [0, 1], got {q}")
         if self.count == 0:
@@ -124,11 +133,21 @@ class Histogram:
         target = q * self.count
         running = 0
         for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if running + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else self.minimum
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.maximum
+                )
+                lower = max(min(lower, self.maximum), self.minimum)
+                upper = max(min(upper, self.maximum), self.minimum)
+                fraction = (target - running) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, fraction)
+                return min(max(estimate, self.minimum), self.maximum)
             running += bucket_count
-            if running >= target and bucket_count:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return self.maximum
         return self.maximum
 
     def snapshot(self) -> dict:
@@ -280,6 +299,6 @@ def registry_from_system(system: "FederatedSystem") -> MetricsRegistry:
 
     if system.tracer is not None:
         registry.counter("trace.records").inc(len(system.tracer))
-        registry.counter("trace.dropped").inc(system.tracer.dropped)
+        registry.counter("tracer.dropped_events").inc(system.tracer.dropped)
 
     return registry

@@ -1,0 +1,244 @@
+"""Wall-clock profiling: nested scoped timers for the *real* time domain.
+
+Everything else in :mod:`repro.obs` measures **simulation** time; this
+module measures what the hardware actually spent — GA generations,
+evaluator realization, plan enumeration, executor dispatch — so the speed
+bought by the fast paths can be attributed and regression-gated.
+
+Design constraints:
+
+* **Free when off.**  The shared :data:`PROFILER` ships disabled;
+  ``profiler.scope(name)`` then returns one reusable no-op context
+  manager, so instrumented hot paths cost a single attribute check.
+  Enabling never changes simulation results — the profiler only reads
+  ``perf_counter``.
+* **Nested attribution.**  Scopes nest on a stack: each
+  :class:`ProfileRecord` knows its depth and parent, so exclusive (self)
+  time is total time minus direct children, and the chrome://tracing
+  export renders the familiar flame rows.
+* **A second trace domain.**  :meth:`WallProfiler.to_chrome_trace` uses
+  its own pid ("wall-clock") so a profile can be merged next to the
+  sim-time trace without the two timelines colliding.
+
+Use as a context manager (``with PROFILER.scope("ga.generation"): …``) or
+a decorator (``@profiled("mqo.enumerate")``).  This module depends only on
+the standard library and ``repro.errors`` — any layer may import it.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "ProfileRecord",
+    "WallProfiler",
+    "PROFILER",
+    "profiled",
+]
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One closed scope: wall-clock seconds, with nesting context."""
+
+    name: str
+    start: float        #: seconds since the profiler's epoch
+    duration: float     #: wall-clock seconds inside the scope
+    depth: int          #: 0 = top-level
+    parent: int | None  #: index of the enclosing record (None at top level)
+
+
+class _NullScope:
+    """The shared do-nothing scope handed out while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _Scope:
+    __slots__ = ("_profiler", "_name", "_start", "_index")
+
+    def __init__(self, profiler: "WallProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Scope":
+        self._index = self._profiler._open(self._name)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = perf_counter() - self._start
+        self._profiler._close(self._name, self._index, elapsed)
+        return False
+
+
+class WallProfiler:
+    """Collects nested wall-clock scopes into a flat record list."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.records: list[ProfileRecord] = []
+        self._stack: list[int] = []   # indices of open records
+        self._epoch: float | None = None
+
+    # -- collection ---------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start (or resume) collecting."""
+        self.enabled = True
+        if self._epoch is None:
+            self._epoch = perf_counter()
+
+    def disable(self) -> None:
+        """Stop collecting (already-recorded scopes are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Forget everything recorded so far."""
+        if self._stack:
+            raise SimulationError("cannot reset a profiler with open scopes")
+        self.records.clear()
+        self._epoch = None
+
+    def scope(self, name: str) -> object:
+        """A context manager timing ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _Scope(self, name)
+
+    def _open(self, name: str) -> int:
+        if self._epoch is None:
+            self._epoch = perf_counter()
+        index = len(self.records)
+        parent = self._stack[-1] if self._stack else None
+        # Reserve the slot so children recorded before this scope closes
+        # keep a stable parent index; duration lands at close.
+        self.records.append(ProfileRecord(
+            name=name,
+            start=perf_counter() - self._epoch,
+            duration=0.0,
+            depth=len(self._stack),
+            parent=parent,
+        ))
+        self._stack.append(index)
+        return index
+
+    def _close(self, name: str, index: int, elapsed: float) -> None:
+        opened = self._stack.pop()
+        if opened != index:  # pragma: no cover - misuse guard
+            raise SimulationError(
+                f"profiler scopes closed out of order: {name!r}"
+            )
+        record = self.records[index]
+        self.records[index] = ProfileRecord(
+            name=record.name,
+            start=record.start,
+            duration=elapsed,
+            depth=record.depth,
+            parent=record.parent,
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def attribution(self) -> dict[str, dict[str, float]]:
+        """Per-phase wall-clock table: calls, total, self (exclusive), mean.
+
+        ``total`` sums each scope's inclusive time; ``self`` subtracts the
+        time spent in direct children, so summing ``self`` over all phases
+        recovers (approximately) the profiled wall clock once.
+        """
+        child_time = [0.0] * len(self.records)
+        for record in self.records:
+            if record.parent is not None:
+                child_time[record.parent] += record.duration
+        table: dict[str, dict[str, float]] = {}
+        for index, record in enumerate(self.records):
+            row = table.setdefault(
+                record.name, {"calls": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            row["calls"] += 1
+            row["total_s"] += record.duration
+            row["self_s"] += record.duration - child_time[index]
+        for row in table.values():
+            row["mean_ms"] = row["total_s"] * 1e3 / row["calls"]
+        return table
+
+    def render(self) -> str:
+        """The attribution table as aligned text, hottest phase first."""
+        table = self.attribution()
+        if not table:
+            return "(no profile records)"
+        header = f"{'phase':<28} {'calls':>8} {'total_s':>10} {'self_s':>10} {'mean_ms':>10}"
+        lines = [header, "-" * len(header)]
+        for name, row in sorted(
+            table.items(), key=lambda item: -item[1]["self_s"]
+        ):
+            lines.append(
+                f"{name:<28} {row['calls']:>8} {row['total_s']:>10.4f} "
+                f"{row['self_s']:>10.4f} {row['mean_ms']:>10.3f}"
+            )
+        return "\n".join(lines)
+
+    def to_chrome_trace(self) -> dict:
+        """The profile in chrome ``trace_event`` format (wall-clock pid).
+
+        Timestamps are microseconds since the profiler epoch on pid 2 —
+        disjoint from the sim-time export's pid 1, so both domains can be
+        merged into one file without overlapping.
+        """
+        trace_events: list[dict] = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": 2,
+            "args": {"name": "wall-clock"},
+        }]
+        for record in self.records:
+            trace_events.append({
+                "name": record.name,
+                "ph": "X",
+                "pid": 2,
+                "tid": 1,
+                "ts": record.start * 1e6,
+                "dur": record.duration * 1e6,
+                "cat": "profile",
+                "args": {"depth": record.depth},
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+#: The process-wide profiler all instrumented code points at.  Disabled by
+#: default: instrumentation costs one ``enabled`` check until a profiling
+#: entry point (``--profile``, a test) turns it on.
+PROFILER = WallProfiler(enabled=False)
+
+
+def profiled(name: str, profiler: WallProfiler | None = None) -> Callable:
+    """Decorator form: time every call to the wrapped function."""
+
+    def decorate(function: Callable) -> Callable:
+        target = profiler if profiler is not None else PROFILER
+
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            if not target.enabled:
+                return function(*args, **kwargs)
+            with target.scope(name):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -59,9 +59,21 @@ class Tracer:
         self._records: list[TraceRecord] = []
         self._dropped = 0
         self._last_time: float | None = None
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
         self.enabled = True
 
     # -- producing ---------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Deliver every future record to ``callback``, as it is emitted.
+
+        Subscribers see records *live* — including ones a bounded tracer
+        later evicts — which is what streaming consumers (the live metrics
+        registry, SLO monitors) need: they never depend on the retained
+        window.  A subscriber may itself emit (e.g. an SLO monitor opening
+        an alert); the new record is delivered to every subscriber too.
+        """
+        self._subscribers.append(callback)
 
     def emit(self, kind: str, subject: str, **detail) -> None:
         """Record one event at the current simulation time.
@@ -79,11 +91,14 @@ class Tracer:
                 f"(emitting {kind!r} for {subject!r})"
             )
         self._last_time = now
-        self._records.append(TraceRecord(now, kind, subject, dict(detail)))
+        record = TraceRecord(now, kind, subject, dict(detail))
+        self._records.append(record)
         if self._capacity is not None and len(self._records) > self._capacity:
             overflow = len(self._records) - self._capacity
             del self._records[:overflow]
             self._dropped += overflow
+        for callback in self._subscribers:
+            callback(record)
 
     # -- consuming ------------------------------------------------------------
 

@@ -1,0 +1,219 @@
+"""Unit tests: the benchmark regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.bench_gate import (
+    DEFAULT_WALL_TOLERANCE,
+    GateResult,
+    Regression,
+    classify,
+    compare,
+    flatten_metrics,
+    render_gate,
+    run_gate,
+)
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        data = {
+            "fast": {"wall_seconds": 0.2, "label": "ignored"},
+            "cells": [{"mean_iv": 1.5}, {"mean_iv": 2.5}],
+            "flag": True,
+            "count": 7,
+        }
+        flat = flatten_metrics(data)
+        assert flat == {
+            "fast.wall_seconds": 0.2,
+            "cells.0.mean_iv": 1.5,
+            "cells.1.mean_iv": 2.5,
+            "count": 7.0,
+        }
+
+    def test_booleans_are_not_metrics(self):
+        assert flatten_metrics({"ok": True, "n": 1}) == {"n": 1.0}
+
+
+class TestClassify:
+    @pytest.mark.parametrize("path", [
+        "fast.wall_seconds",
+        "online_overhead.wall_seconds",
+        "batch_wall_seconds",
+        "reopt_seconds",
+        "online_overhead.mean_reopt_ms",
+    ])
+    def test_wall_family(self, path):
+        assert classify(path) == "wall"
+
+    @pytest.mark.parametrize("path", [
+        "fast.best_fitness",
+        "cells.0.mean_iv",
+        "total_iv.online",
+        "total_iv.fifo",
+    ])
+    def test_iv_family(self, path):
+        assert classify(path) == "iv"
+
+    @pytest.mark.parametrize("path", [
+        "fast.realize_calls",
+        "speedup",
+        "cells.0.completed",
+        "queries",
+    ])
+    def test_counters_are_not_gated(self, path):
+        assert classify(path) is None
+
+
+class TestCompare:
+    baseline = {
+        "fast": {"wall_seconds": 1.0, "best_fitness": 3.0, "calls": 10},
+    }
+
+    def test_synthetic_2x_slowdown_fails_at_tight_tolerance(self):
+        # The gate's core promise: a doubled wall clock is caught when the
+        # tolerance is tighter than the slowdown.
+        current = {"fast": {"wall_seconds": 2.0, "best_fitness": 3.0}}
+        regressions = compare(
+            "mqo", self.baseline, current, wall_tolerance=1.5
+        )
+        assert [r.metric for r in regressions] == ["fast.wall_seconds"]
+        assert regressions[0].kind == "wall"
+        assert "slower" in str(regressions[0])
+
+    def test_slowdown_within_tolerance_passes(self):
+        current = {"fast": {"wall_seconds": 2.0, "best_fitness": 3.0}}
+        assert compare("mqo", self.baseline, current, wall_tolerance=2.5) == []
+
+    def test_iv_drop_fails_even_when_tiny(self):
+        current = {"fast": {"wall_seconds": 1.0, "best_fitness": 2.9999}}
+        regressions = compare("mqo", self.baseline, current)
+        assert [r.kind for r in regressions] == ["iv"]
+        assert "lower" in str(regressions[0])
+
+    def test_iv_gain_and_speedup_pass(self):
+        current = {"fast": {"wall_seconds": 0.5, "best_fitness": 3.5}}
+        assert compare("mqo", self.baseline, current) == []
+
+    def test_one_sided_metrics_are_skipped(self):
+        # New fields (or removed ones) must not trip the gate before the
+        # baseline is refreshed.
+        current = {"fast": {"best_fitness": 3.0, "new_wall_seconds": 99.0}}
+        assert compare("mqo", self.baseline, current) == []
+
+    def test_counters_never_gate(self):
+        current = {"fast": {"wall_seconds": 1.0, "best_fitness": 3.0, "calls": 1}}
+        assert compare("mqo", self.baseline, current) == []
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ConfigError):
+            compare("mqo", {}, {}, wall_tolerance=0.5)
+        with pytest.raises(ConfigError):
+            compare("mqo", {}, {}, iv_tolerance=-1.0)
+
+
+class TestRunGate:
+    def fake_repo(self, tmp_path, *, slowdown=1.0, iv=3.0):
+        """A miniature repo: one committed baseline + snapshot script."""
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "BENCH_mqo.json").write_text(json.dumps(
+            {"fast": {"wall_seconds": 1.0, "best_fitness": 3.0}}
+        ))
+        (tmp_path / "benchmarks" / "mqo_snapshot.py").write_text(
+            "def snapshot():\n"
+            f"    return {{'fast': {{'wall_seconds': {slowdown}, "
+            f"'best_fitness': {iv}}}}}\n"
+        )
+        return tmp_path
+
+    def test_gate_passes_and_appends_history(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        results = run_gate(["mqo"], root=root, wall_tolerance=3.0)
+        assert len(results) == 1 and results[0].passed
+        history = (root / "BENCH_history.jsonl").read_text().splitlines()
+        line = json.loads(history[0])
+        assert line["snapshot"] == "mqo" and line["passed"] is True
+        assert line["metrics"]["fast.wall_seconds"] == 1.0
+        # A second run appends, never truncates.
+        run_gate(["mqo"], root=root, wall_tolerance=3.0)
+        assert len(
+            (root / "BENCH_history.jsonl").read_text().splitlines()
+        ) == 2
+
+    def test_gate_fails_on_synthetic_slowdown(self, tmp_path):
+        root = self.fake_repo(tmp_path, slowdown=2.0)
+        results = run_gate(["mqo"], root=root, wall_tolerance=1.5)
+        assert not results[0].passed
+        line = json.loads(
+            (root / "BENCH_history.jsonl").read_text().splitlines()[0]
+        )
+        assert line["passed"] is False and line["regressions"]
+
+    def test_env_var_sets_the_tolerance(self, tmp_path, monkeypatch):
+        root = self.fake_repo(tmp_path, slowdown=2.0)
+        monkeypatch.setenv("BENCH_GATE_TOLERANCE", "1.5")
+        assert not run_gate(["mqo"], root=root)[0].passed
+        monkeypatch.setenv("BENCH_GATE_TOLERANCE", "2.5")
+        assert run_gate(["mqo"], root=root)[0].passed
+
+    def test_explicit_tolerance_beats_the_env_var(self, tmp_path, monkeypatch):
+        root = self.fake_repo(tmp_path, slowdown=2.0)
+        monkeypatch.setenv("BENCH_GATE_TOLERANCE", "1.1")
+        assert run_gate(["mqo"], root=root, wall_tolerance=2.5)[0].passed
+
+    def test_history_can_be_disabled(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        run_gate(["mqo"], root=root, history_path=None)
+        assert not (root / "BENCH_history.jsonl").exists()
+
+    def test_unknown_snapshot_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="unknown snapshot"):
+            run_gate(["nope"], root=self.fake_repo(tmp_path))
+
+    def test_missing_baseline_rejected(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        (root / "BENCH_mqo.json").unlink()
+        with pytest.raises(ConfigError, match="baseline"):
+            run_gate(["mqo"], root=root)
+
+    def test_script_without_snapshot_callable_rejected(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        (root / "benchmarks" / "mqo_snapshot.py").write_text("x = 1\n")
+        with pytest.raises(ConfigError, match="snapshot"):
+            run_gate(["mqo"], root=root)
+
+
+class TestRender:
+    def test_render_marks_pass_fail_and_regressions(self):
+        result = GateResult(
+            name="mqo",
+            baseline={"fast": {"wall_seconds": 1.0, "best_fitness": 3.0}},
+            current={"fast": {"wall_seconds": 4.0, "best_fitness": 3.0}},
+            regressions=[Regression("mqo", "fast.wall_seconds", "wall", 1.0, 4.0)],
+            wall_seconds=0.5,
+        )
+        text = render_gate([result])
+        assert "FAIL" in text and "REGRESSION" in text
+        assert "x4.00" in text
+        clean = GateResult(
+            name="mqo",
+            baseline=result.baseline,
+            current=result.baseline,
+        )
+        assert "PASS" in render_gate([clean])
+
+
+@pytest.mark.slow
+class TestRealSnapshots:
+    def test_default_tolerance_is_generous(self):
+        assert DEFAULT_WALL_TOLERANCE >= 2.0
+
+    def test_committed_mqo_baseline_gates_cleanly(self):
+        # Re-runs the real MQO benchmark: deterministic IV must match the
+        # committed baseline exactly; wall clock within the default slack.
+        results = run_gate(["mqo"], root=".", history_path=None)
+        assert results[0].passed, render_gate(results)

@@ -105,3 +105,52 @@ class TestCli:
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "ablations", "sensitivity", "load", "faults", "stream-mqo",
         }
+
+
+@pytest.mark.slow
+class TestLiveCli:
+    def test_stream_mqo_live_metrics_dashboard(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["stream-mqo", "--live-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "gauges" in out and "quantiles" in out
+        assert "alert" in out
+        assert "trace-check" in out
+
+    def test_live_metrics_with_profile_and_html(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        report = tmp_path / "live.html"
+        assert main([
+            "stream-mqo", "--live-metrics", "--profile",
+            "--html", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ga.run" in out            # profiler attribution surfaced
+        html = report.read_text()
+        assert html.startswith("<!DOCTYPE html>") or "<html" in html
+        assert "gauges" in html
+
+    def test_live_metrics_with_slo_file(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+        from repro.obs import default_slo_rules
+
+        rules = tmp_path / "slo.json"
+        rules.write_text(json.dumps(
+            [rule.to_dict() for rule in default_slo_rules()]
+        ))
+        assert main([
+            "stream-mqo", "--live-metrics", "--slo", str(rules),
+        ]) == 0
+        assert "trace-check" in capsys.readouterr().out
+
+    def test_live_flags_require_live_metrics(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig4", "--live-metrics"])
+        with pytest.raises(SystemExit):
+            main(["stream-mqo", "--profile"])

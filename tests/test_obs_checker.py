@@ -4,13 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+from types import SimpleNamespace
+
 from repro.baselines import ivqp_router
 from repro.core.value import DiscountRates
 from repro.errors import SimulationError
 from repro.federation.system import SystemConfig, TableSpec, build_system
 from repro.obs import TraceChecker, events
+from repro.obs.checker import PREFIX_SENSITIVE_RULES
 from repro.obs.ledger import IVLedgerEntry
-from repro.sim.trace import TraceRecord
+from repro.sim.trace import TraceRecord, Tracer
 from repro.workload.query import DSSQuery
 
 
@@ -177,6 +180,181 @@ class TestCompletenessAndFaults:
     def test_tolerance_validation(self):
         with pytest.raises(SimulationError):
             TraceChecker(tolerance=-1.0)
+
+
+class TestDropsDowngrade:
+    """Capacity-bounded traces: prefix-sensitive rules are downgraded.
+
+    Drop-oldest eviction removes the *front* of the trace, so rules that
+    reason about earlier events (a ``leg.granted`` whose ``leg.start``
+    fell off, an ``alert.close`` whose open is gone) fire spuriously on
+    the retained suffix.  With the tracer's drop counter passed through,
+    those rules are suppressed; everything suffix-anchored still gates.
+    """
+
+    def test_truncated_prefix_fires_leg_order_without_drop_count(self):
+        # Regression: before drop-awareness, auditing a bounded tracer's
+        # retained window reported leg-order on a perfectly healthy run.
+        records = traced_system().tracer.records
+        granted = next(
+            index for index, record in enumerate(records)
+            if record.kind == events.LEG_GRANTED
+        )
+        truncated = records[granted:]
+        assert "leg-order" in rules_of(TraceChecker().check(truncated))
+
+    def test_drop_count_downgrades_prefix_sensitive_rules(self):
+        records = traced_system().tracer.records
+        granted = next(
+            index for index, record in enumerate(records)
+            if record.kind == events.LEG_GRANTED
+        )
+        truncated = records[granted:]
+        checker = TraceChecker()
+        assert checker.check(truncated, dropped=granted) == []
+        checker.assert_clean(truncated, dropped=granted)  # must not raise
+
+    def test_check_system_passes_the_tracer_drop_counter(self):
+        # Re-emit a clean run through a capacity-bounded tracer: the
+        # retained window loses the first legs, but check_system reads
+        # tracer.dropped and stays clean.
+        records = traced_system().tracer.records
+        granted = next(
+            index for index, record in enumerate(records)
+            if record.kind == events.LEG_GRANTED
+        )
+        clock = [0.0]
+        bounded = Tracer(lambda: clock[0], capacity=len(records) - granted)
+        for record in records:
+            clock[0] = record.time
+            bounded.emit(record.kind, record.subject, **record.detail)
+        assert bounded.dropped == granted
+        system = SimpleNamespace(tracer=bounded)
+        assert TraceChecker().check_system(system) == []
+        # Without the drop counter the same window is (spuriously) dirty.
+        assert "leg-order" in rules_of(TraceChecker().check(bounded.records))
+
+    def test_drops_do_not_excuse_suffix_anchored_rules(self):
+        # Tampering the retained window must still be caught: the ledger
+        # identity rules are not prefix-sensitive.
+        records = traced_system().tracer.records
+        for record in records:
+            if record.kind == events.LEDGER:
+                record.detail["reported_iv"] = record.detail["reported_iv"] + 0.1
+        rules = rules_of(TraceChecker().check(records, dropped=5))
+        assert "iv-recompute" in rules
+        assert not rules & PREFIX_SENSITIVE_RULES
+
+
+def alert_record(time, kind, subject="slo:r", **overrides):
+    detail = {
+        "rule": "r", "metric": "m", "value": 1.0,
+        "threshold": 0.5, "clear": 0.4,
+    }
+    detail.update(overrides)
+    return TraceRecord(time, kind, subject, detail)
+
+
+class TestAlertRules:
+    """alert-alternation / alert-well-formed / alert-window invariants."""
+
+    # A non-alert record pinning the trace span start.
+    base = TraceRecord(0.0, events.MQO_WINDOW, "window:0", {"index": 0})
+
+    def test_open_close_pair_is_clean(self):
+        records = [
+            self.base,
+            alert_record(1.0, events.ALERT_OPEN, since=0.5),
+            alert_record(2.0, events.ALERT_CLOSE, opened_at=1.0),
+        ]
+        assert TraceChecker().check(records) == []
+
+    def test_double_open_caught(self):
+        records = [
+            self.base,
+            alert_record(1.0, events.ALERT_OPEN, since=0.5),
+            alert_record(2.0, events.ALERT_OPEN, since=0.5),
+        ]
+        assert "alert-alternation" in rules_of(TraceChecker().check(records))
+
+    def test_close_without_open_caught_then_excused_by_drops(self):
+        records = [
+            self.base,
+            alert_record(2.0, events.ALERT_CLOSE, opened_at=1.0),
+        ]
+        assert "alert-alternation" in rules_of(TraceChecker().check(records))
+        # The open may simply have been evicted from a bounded tracer.
+        assert TraceChecker().check(records, dropped=1) == []
+
+    def test_open_since_outside_trace_span_caught(self):
+        records = [
+            self.base,
+            alert_record(1.0, events.ALERT_OPEN, since=-5.0),
+            alert_record(2.0, events.ALERT_CLOSE, opened_at=1.0),
+        ]
+        assert "alert-window" in rules_of(TraceChecker().check(records))
+
+    def test_close_opened_at_mismatch_caught(self):
+        records = [
+            self.base,
+            alert_record(1.0, events.ALERT_OPEN, since=0.5),
+            alert_record(2.0, events.ALERT_CLOSE, opened_at=0.25),
+        ]
+        assert "alert-window" in rules_of(TraceChecker().check(records))
+
+    def test_alert_missing_detail_keys_caught(self):
+        record = TraceRecord(1.0, events.ALERT_OPEN, "slo:r", {"rule": "r"})
+        assert "alert-well-formed" in rules_of(
+            TraceChecker().check([self.base, record])
+        )
+
+
+class TestSLOCoverage:
+    """check_slo replays the rules and audits the emitted alerts."""
+
+    @pytest.fixture(scope="class")
+    def live_run(self):
+        from repro.experiments.live import run_live
+
+        return run_live()
+
+    def test_live_run_alerts_and_passes_both_audits(self, live_run):
+        checker = TraceChecker()
+        assert checker.check_system(live_run.system) == []
+        records = live_run.system.tracer.records
+        assert any(r.kind == events.ALERT_OPEN for r in records)
+        assert checker.check_slo(
+            records, live_run.monitor.rules,
+            window=live_run.registry.window,
+            half_life=live_run.registry.half_life,
+        ) == []
+
+    def test_suppressed_alert_caught_as_coverage_gap(self, live_run):
+        records = live_run.system.tracer.records
+        first_open = next(
+            r for r in records if r.kind == events.ALERT_OPEN
+        )
+        tampered = [r for r in records if r is not first_open]
+        violations = TraceChecker().check_slo(
+            tampered, live_run.monitor.rules,
+            window=live_run.registry.window,
+            half_life=live_run.registry.half_life,
+        )
+        assert "slo-coverage" in rules_of(violations)
+
+    def test_fabricated_alert_caught_as_coverage_gap(self, live_run):
+        records = list(live_run.system.tracer.records)
+        rule_name = live_run.monitor.rules[0].name
+        records.append(alert_record(
+            records[-1].time + 1.0, events.ALERT_OPEN,
+            subject=f"slo:{rule_name}", rule=rule_name, since=records[-1].time,
+        ))
+        violations = TraceChecker().check_slo(
+            records, live_run.monitor.rules,
+            window=live_run.registry.window,
+            half_life=live_run.registry.half_life,
+        )
+        assert "slo-coverage" in rules_of(violations)
 
 
 class TestLedgerEntryAgainstOutcomes:

@@ -52,8 +52,30 @@ class TestHistogram:
         for value in (0.5, 1.5, 1.5, 3.0):
             hist.observe(value)
         assert hist.mean == pytest.approx(1.625)
-        assert hist.quantile(0.5) == 2.0
-        assert hist.quantile(1.0) == 4.0
+        # target 2 lands halfway through the (1, 2] bucket -> interpolated.
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        # q=1 interpolates to the overflow bucket's top = the true maximum.
+        assert hist.quantile(1.0) == pytest.approx(3.0)
+
+    def test_quantile_interpolation_properties(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.2, 0.8, 1.5, 2.5, 3.5, 6.0):
+            hist.observe(value)
+        # Clamped to the observed range and monotone non-decreasing in q.
+        grid = [i / 20 for i in range(21)]
+        estimates = [hist.quantile(q) for q in grid]
+        assert all(hist.minimum <= e <= hist.maximum for e in estimates)
+        assert estimates == sorted(estimates)
+        assert estimates[0] == hist.minimum
+        assert estimates[-1] == hist.maximum
+
+    def test_quantile_single_bucket_degrades_to_span(self):
+        hist = Histogram("h", bounds=(10.0,))
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 2.0
+        assert hist.quantile(1.0) == 6.0
+        assert 2.0 <= hist.quantile(0.5) <= 6.0
 
     def test_unsorted_bounds_rejected(self):
         with pytest.raises(SimulationError):
@@ -156,6 +178,10 @@ class TestSystemRegistry:
         assert snapshot["counters"]["query.completed"] == 3
         assert snapshot["counters"]["sync.total"] == system.replication.total_syncs
         assert snapshot["counters"]["trace.records"] == len(system.tracer)
+        # Nothing was evicted in this run; the drop counter is exposed so
+        # dashboards (and the checker) can see when a capacity-bounded
+        # tracer lost its prefix.
+        assert snapshot["counters"]["tracer.dropped_events"] == 0
         assert snapshot["gauges"]["query.iv.count"] == 3
         assert snapshot["histograms"]["query.cl.hist"]["count"] == 3
         # system.metrics() is the same snapshot behind a method.

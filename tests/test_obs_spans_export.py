@@ -149,3 +149,63 @@ class TestChromeExport:
         ]
         assert sync_events
         assert all(event["ph"] == "i" for event in sync_events)
+
+
+@pytest.mark.slow
+class TestOnlineRunExport:
+    """The EXT4 ``stream-online`` trace survives every exporter round trip."""
+
+    @pytest.fixture(scope="class")
+    def online_system(self):
+        from repro.experiments.trace_scenarios import trace_stream_online
+
+        return trace_stream_online()
+
+    def test_online_trace_carries_scheduler_events(self, online_system):
+        kinds = {record.kind for record in online_system.tracer.records}
+        assert events.MQO_WINDOW in kinds
+        assert events.MQO_ADMIT in kinds
+
+    def test_jsonl_round_trip_is_identity(self, online_system, tmp_path):
+        records = online_system.tracer.records
+        assert from_jsonl(to_jsonl(records)) == records
+        path = str(tmp_path / "online.jsonl")
+        write_jsonl(records, path)
+        assert read_jsonl(path) == records
+
+    def test_revived_ledger_matches_and_recomputes(self, online_system):
+        records = from_jsonl(to_jsonl(online_system.tracer.records))
+        revived = ledger_from_records(records)
+        assert revived == online_system.ledger
+        for entry in revived:
+            assert entry.recompute_iv() == entry.reported_iv
+
+    def test_span_trees_cover_every_ledger_entry(self, online_system):
+        spans = build_query_spans(online_system.tracer.records)
+        assert len(spans) == len(online_system.ledger)
+        for span in spans:
+            for child in span.walk():
+                assert child.duration >= 0.0
+                assert span.start <= child.start and child.end <= span.end
+
+    def test_chrome_export_serializes_with_threads(self, online_system):
+        document = to_chrome_trace(online_system.tracer.records)
+        json.dumps(document)
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert {"M", "X"} <= phases
+
+    def test_sim_and_wall_domains_merge_without_colliding(self, online_system):
+        # The sim-time export owns pid 1 and the wall-clock profiler pid 2,
+        # so one merged chrome://tracing file shows both timelines.
+        from repro.obs.profile import WallProfiler
+
+        profiler = WallProfiler(enabled=True)
+        with profiler.scope("replay"):
+            pass
+        sim_doc = to_chrome_trace(online_system.tracer.records)
+        wall_doc = profiler.to_chrome_trace()
+        merged = sim_doc["traceEvents"] + wall_doc["traceEvents"]
+        json.dumps({"traceEvents": merged})
+        sim_pids = {event["pid"] for event in sim_doc["traceEvents"]}
+        wall_pids = {event["pid"] for event in wall_doc["traceEvents"]}
+        assert sim_pids == {1} and wall_pids == {2}

@@ -126,6 +126,66 @@ class TestTracer:
         assert "remote=a,b" in text
 
 
+class TestSubscribe:
+    def make(self, capacity=None):
+        clock = [0.0]
+        tracer = Tracer(lambda: clock[0], capacity=capacity)
+        return clock, tracer
+
+    def test_subscribers_see_every_record_in_order(self):
+        clock, tracer = self.make()
+        seen = []
+        tracer.subscribe(seen.append)
+        for index in range(4):
+            clock[0] = float(index)
+            tracer.emit("tick", str(index))
+        assert [record.subject for record in seen] == ["0", "1", "2", "3"]
+        assert seen == tracer.records
+
+    def test_subscribers_see_records_a_bounded_tracer_evicts(self):
+        clock, tracer = self.make(capacity=2)
+        seen = []
+        tracer.subscribe(seen.append)
+        for index in range(6):
+            clock[0] = float(index)
+            tracer.emit("tick", str(index))
+        # The retained window lost the prefix; the live feed did not.
+        assert len(tracer) == 2
+        assert tracer.dropped == 4
+        assert [record.subject for record in seen] == [
+            "0", "1", "2", "3", "4", "5",
+        ]
+
+    def test_multiple_subscribers_fire_in_attach_order(self):
+        _clock, tracer = self.make()
+        order = []
+        tracer.subscribe(lambda record: order.append("first"))
+        tracer.subscribe(lambda record: order.append("second"))
+        tracer.emit("tick", "a")
+        assert order == ["first", "second"]
+
+    def test_disabled_tracer_does_not_notify(self):
+        _clock, tracer = self.make()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.enabled = False
+        tracer.emit("tick", "a")
+        assert seen == []
+
+    def test_subscriber_may_emit_followup_records(self):
+        # The SLO monitor emits alert events from inside a subscription;
+        # the follow-up record must land after the triggering one.
+        _clock, tracer = self.make()
+
+        def alert_on_spike(record):
+            if record.kind == "spike":
+                tracer.emit("alert", record.subject)
+
+        tracer.subscribe(alert_on_spike)
+        tracer.emit("spike", "s1")
+        assert [record.kind for record in tracer.records] == ["spike", "alert"]
+
+
 class TestSystemTracing:
     def test_traced_system_records_lifecycle(self):
         from repro.baselines import ivqp_router
