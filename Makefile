@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-online test-live trace-check lint ci bench bench-mqo bench-faults bench-online bench-gate experiments check examples all
+.PHONY: install test test-fast test-faults test-online test-live test-serve serve-smoke trace-check lint ci bench bench-mqo bench-faults bench-online bench-serve bench-gate experiments check examples all
 
 install:
 	pip install -e .
@@ -25,6 +25,16 @@ test-online:
 test-live:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_live.py tests/test_obs_slo.py tests/test_obs_profile.py tests/test_bench_gate.py -q
 
+# The wall-clock serving runtime: Clock seam, asyncio HTTP service,
+# clock-equivalence property.
+test-serve:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_sim_clocks.py tests/test_serve.py tests/test_clock_equivalence.py -q
+
+# End-to-end HTTP pass over every route; asserts checker-clean trace and
+# SimClock replay equivalence.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve-smoke
+
 # Audit the fig4 golden scenario with the trace invariant checker.
 trace-check:
 	PYTHONPATH=src $(PYTHON) -m repro trace fig4 --check >/dev/null
@@ -44,8 +54,11 @@ ci: lint
 	$(MAKE) test-faults
 	$(MAKE) test-online
 	$(MAKE) test-live
+	$(MAKE) test-serve
 	$(MAKE) trace-check
+	$(MAKE) serve-smoke
 	$(MAKE) bench-online
+	$(MAKE) bench-serve
 	$(MAKE) bench-gate
 
 bench:
@@ -60,6 +73,9 @@ bench-faults:
 
 bench-online:
 	PYTHONPATH=src $(PYTHON) benchmarks/online_snapshot.py BENCH_online.json
+
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/serve_snapshot.py BENCH_serve.json
 
 # Re-run every committed benchmark snapshot and fail on wall-clock or IV
 # regressions; the slowdown multiple comes from BENCH_GATE_TOLERANCE

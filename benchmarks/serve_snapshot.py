@@ -1,0 +1,51 @@
+"""Write ``BENCH_serve.json`` — a point-in-time serving-runtime snapshot.
+
+Runs the two-phase wall-clock load bench (``repro.serve.bench``): a live
+asyncio HTTP service over a :class:`~repro.sim.clocks.WallClock`, driven
+at the sustained rate and then at a 2× overload burst, with per-request
+end-to-end wall latency measured on the wire.  Invoked by
+``make bench-serve``; the JSON gives the serving runtime a regression
+baseline — ``*_ms`` latency keys sit in the bench gate's 3× wall family,
+throughput/shed/IV shape is recorded for the report but asserted
+structurally by the bench itself (checker-clean trace, replay-equal
+decisions).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_snapshot.py [output.json]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.serve.bench import ServeBenchConfig, serve_bench
+
+
+def snapshot() -> dict:
+    data = asyncio.run(serve_bench(ServeBenchConfig()))
+    if data["trace"]["violations"]:
+        raise SimulationError(
+            f"serve bench trace has {data['trace']['violations']} violations"
+        )
+    if not data["trace"]["replay_equal"]:
+        raise SimulationError(
+            "SimClock replay diverged from the live decision log"
+        )
+    return data
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_serve.json")
+    data = snapshot()
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(json.dumps(data, indent=2))
+
+
+if __name__ == "__main__":
+    main()

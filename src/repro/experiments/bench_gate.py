@@ -22,6 +22,12 @@ has been trending), and exits non-zero when anything *regressed*:
 Only those two families gate; counter-style metrics (cache hits, realize
 calls, …) are recorded in the history but deliberately not compared, so
 legitimate algorithm changes don't trip the gate on bookkeeping.
+
+A *schema* mismatch also fails the gate: when a gated metric exists on
+only one side (a snapshot script grew or lost a field without its
+committed baseline being refreshed), the verdict names the added/removed
+keys and the ``make bench-<name>`` command that refreshes the baseline —
+instead of silently gating a shrinking intersection of keys.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ __all__ = [
     "GateResult",
     "flatten_metrics",
     "classify",
+    "key_mismatch",
     "compare",
     "run_gate",
     "render_gate",
@@ -58,6 +65,7 @@ SNAPSHOTS = {
     "mqo": ("BENCH_mqo.json", "benchmarks/mqo_snapshot.py"),
     "faults": ("BENCH_faults.json", "benchmarks/faults_snapshot.py"),
     "online": ("BENCH_online.json", "benchmarks/online_snapshot.py"),
+    "serve": ("BENCH_serve.json", "benchmarks/serve_snapshot.py"),
 }
 
 
@@ -87,12 +95,14 @@ class GateResult:
     baseline: dict
     current: dict
     regressions: list[Regression] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)     #: gated keys only in fresh
+    removed: list[str] = field(default_factory=list)   #: gated keys only in baseline
     wall_seconds: float = 0.0    #: time spent re-running the benchmark
 
     @property
     def passed(self) -> bool:
-        """Whether every gated metric held."""
-        return not self.regressions
+        """Every gated metric held *and* baseline/fresh keys agree."""
+        return not (self.regressions or self.added or self.removed)
 
 
 def flatten_metrics(data: dict, prefix: str = "") -> dict[str, float]:
@@ -124,6 +134,29 @@ def classify(path: str) -> str | None:
     return None
 
 
+def key_mismatch(baseline: dict, current: dict) -> tuple[list[str], list[str]]:
+    """Gated metric paths present on only one side: ``(added, removed)``.
+
+    ``added`` keys exist only in the fresh snapshot (the generating script
+    grew a field), ``removed`` only in the committed baseline (the script
+    lost one).  Either way the baseline no longer describes what the
+    script measures — the gate reports the drift explicitly instead of
+    quietly comparing the shrinking intersection (or worse, blowing up
+    with a raw ``KeyError`` in ad-hoc diff scripts).
+    """
+    base_flat = flatten_metrics(baseline)
+    current_flat = flatten_metrics(current)
+    added = sorted(
+        path for path in current_flat
+        if path not in base_flat and classify(path) is not None
+    )
+    removed = sorted(
+        path for path in base_flat
+        if path not in current_flat and classify(path) is not None
+    )
+    return added, removed
+
+
 def compare(
     name: str,
     baseline: dict,
@@ -136,8 +169,8 @@ def compare(
     Wall metrics regress when ``current > baseline * wall_tolerance``;
     IV metrics when ``current < baseline * (1 - iv_tolerance)`` (higher
     is always better for the gated IV family).  Metrics present on only
-    one side are skipped — adding a new field to a snapshot must not
-    fail the gate until its baseline is refreshed.
+    one side are not value-compared — :func:`key_mismatch` reports them
+    and :attr:`GateResult.passed` fails on any drift.
     """
     if wall_tolerance < 1.0:
         raise ConfigError(
@@ -220,6 +253,7 @@ def run_gate(
         started = time.perf_counter()
         current = build()
         elapsed = time.perf_counter() - started
+        added, removed = key_mismatch(baseline, current)
         result = GateResult(
             name=name,
             baseline=baseline,
@@ -228,6 +262,8 @@ def run_gate(
                 name, baseline, current,
                 wall_tolerance=wall_tolerance, iv_tolerance=iv_tolerance,
             ),
+            added=added,
+            removed=removed,
             wall_seconds=elapsed,
         )
         results.append(result)
@@ -246,6 +282,8 @@ def _append_history(
         "passed": result.passed,
         "metrics": flatten_metrics(result.current),
         "regressions": [str(regression) for regression in result.regressions],
+        "added": result.added,
+        "removed": result.removed,
     }
     with open(path, "a") as handle:
         handle.write(json.dumps(line, sort_keys=True) + "\n")
@@ -273,6 +311,23 @@ def render_gate(results: list[GateResult]) -> str:
             lines.append(
                 f"  {kind:<4} {path:<44} {base_value:>12.4f} -> "
                 f"{current_value:>12.4f}  (x{ratio:.2f})"
+            )
+        for path in result.added:
+            lines.append(
+                f"  MISMATCH +{path} (in fresh snapshot, not in baseline)"
+            )
+        for path in result.removed:
+            lines.append(
+                f"  MISMATCH -{path} (in baseline, not in fresh snapshot)"
+            )
+        if result.added or result.removed:
+            baseline_file, script = SNAPSHOTS.get(
+                result.name, (f"BENCH_{result.name}.json", "its snapshot script")
+            )
+            lines.append(
+                f"  baseline {baseline_file} is out of sync with {script}; "
+                f"refresh it via `make bench-{result.name}` and commit the "
+                f"result"
             )
         for regression in result.regressions:
             lines.append(f"  REGRESSION {regression}")

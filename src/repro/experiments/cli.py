@@ -204,6 +204,60 @@ def _run_live_stream(parser: argparse.ArgumentParser, args: argparse.Namespace) 
     return 1 if violations else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the wall-clock HTTP query service until shutdown."""
+    import asyncio
+
+    from repro.serve import HTTPServer, QueryService, ServeConfig
+
+    async def serve() -> int:
+        service = QueryService(ServeConfig(
+            seconds_per_minute=args.seconds_per_minute,
+        ))
+        server = HTTPServer(service, host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        print(f"repro serve listening on http://{host}:{port}")
+        print(
+            "  POST /submit {\"template\": <index|name>, \"wait\": true} | "
+            "GET /result/<qid> | /metrics | /status | /healthz | "
+            "POST /shutdown"
+        )
+        print(f"  templates: {', '.join(t.name for t in service.templates)}")
+        try:
+            await server.serve_until_shutdown()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            await server.stop()
+        violations = service.check_trace()
+        replay_ok = service.replay().decisions == service.session.decisions
+        print(
+            f"drained: {len(service.results)} results, "
+            f"{len(violations)} trace violations, "
+            f"replay {'equal' if replay_ok else 'DIVERGED'}"
+        )
+        return 0 if not violations and replay_ok else 1
+
+    return asyncio.run(serve())
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    """``serve-bench``: the two-phase HTTP load bench (BENCH_serve shape)."""
+    import asyncio
+    import json
+
+    from repro.serve.bench import serve_bench
+
+    data = asyncio.run(serve_bench())
+    body = json.dumps(data, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body + "\n")
+    else:
+        print(body)
+    ok = not data["trace"]["violations"] and data["trace"]["replay_equal"]
+    return 0 if ok else 1
+
+
 def _run_bench_gate(args: argparse.Namespace) -> int:
     """``bench-gate``: re-run benchmark snapshots and fail on regressions."""
     from repro.experiments.bench_gate import render_gate, run_gate
@@ -229,12 +283,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "check", "trace", "bench-gate"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "check", "trace", "bench-gate", "serve", "serve-bench",
+           "serve-smoke"],
         help=(
             "which figure to regenerate ('check' audits every claimed "
             "shape; 'trace' runs an observability scenario; 'bench-gate' "
             "re-runs the committed benchmark snapshots and fails on "
-            "regressions)"
+            "regressions; 'serve' starts the wall-clock HTTP query "
+            "service; 'serve-bench'/'serve-smoke' drive it with load)"
         ),
     )
     parser.add_argument(
@@ -307,6 +364,21 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="('serve' only) interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8763,
+        help="('serve' only) port to bind; 0 picks one (default: 8763)",
+    )
+    parser.add_argument(
+        "--seconds-per-minute", type=float, default=1.0,
+        help=(
+            "('serve' only) wall seconds per stream minute; 60 is honest "
+            "real time, smaller compresses the stream (default: 1.0)"
+        ),
+    )
+    parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     args = parser.parse_args(argv)
@@ -317,6 +389,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("a scenario argument is only valid with 'trace'")
     if args.experiment == "bench-gate":
         return _run_bench_gate(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment == "serve-bench":
+        return _run_serve_bench(args)
+    if args.experiment == "serve-smoke":
+        import asyncio
+
+        from repro.serve.bench import serve_smoke
+
+        return asyncio.run(serve_smoke())
     if args.live_metrics:
         if args.experiment != "stream-mqo":
             parser.error("--live-metrics is only valid with 'stream-mqo'")

@@ -103,6 +103,10 @@ def run_live(
     finally:
         if profile:
             PROFILER.disable()
+    # End-of-run finalization: force-close any alert still breaching so
+    # the trace passes the alert-alternation audit and the dashboard
+    # never shows a breach outliving the data.
+    monitor.finalize(system.sim.now)
     snapshots.append(registry.snapshot(system.sim.now))
     return LiveRunResult(
         system=system,

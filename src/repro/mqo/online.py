@@ -21,7 +21,19 @@ a moving frontier:
 * **Dispatch** — the head of the optimized plan is realized against
   committed server state and started, but only once no earlier event
   (arrival, window, completion) could still change the plan; completions
-  feed back into the event timeline.
+  feed back into the event clock.
+
+The loop itself is **clock-agnostic**: all state and event handling live
+in :class:`OnlineSession`, which only talks to the
+:class:`~repro.sim.clocks.Clock` protocol.  :meth:`OnlineMQOScheduler.run`
+drives a session from a :class:`~repro.sim.clocks.SimClock` (deterministic
+replay of a workload's arrival stream — the batch-equivalent path every
+committed number rests on), while ``repro.serve`` drives the *same*
+session from a :class:`~repro.sim.clocks.WallClock` under asyncio, with
+arrivals pushed live by HTTP submissions.  :func:`replay_decisions`
+re-runs a recorded wall arrival trace through a ``SimClock`` and, by
+construction, reproduces the wall run's admit/shed/dispatch decision
+sequence exactly (``tests/test_clock_equivalence.py``).
 
 Equivalence anchor: with admission disabled (``iv_floor=0``, a queue that
 fits the whole stream, ``eager_start=False``) and one window spanning all
@@ -33,7 +45,6 @@ bit-identical to :meth:`WorkloadScheduler.schedule`
 
 from __future__ import annotations
 
-import time as _time
 import typing
 from dataclasses import dataclass, field
 
@@ -51,9 +62,11 @@ from repro.mqo.evaluator import (
 from repro.mqo.ga import GAConfig, GeneticAlgorithm
 from repro.obs import events
 from repro.obs.profile import profiled
-from repro.sim.timeline import Timeline
+from repro.sim.clocks import Clock, SimClock
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
+
     from repro.sim.trace import Tracer
     from repro.workload.query import Workload
 
@@ -62,7 +75,10 @@ __all__ = [
     "OnlineStats",
     "WindowRecord",
     "OnlineDecision",
+    "OnlineSession",
     "OnlineMQOScheduler",
+    "ArrivalRecord",
+    "replay_decisions",
 ]
 
 #: Spacing of GA seeds between optimization passes.  A prime stride keeps
@@ -157,6 +173,317 @@ class OnlineDecision:
         return [a.query.query_id for a in self.result.assignments]
 
 
+@dataclass(frozen=True)
+class ArrivalRecord:
+    """One recorded live arrival: who, when, and *between which events*.
+
+    ``pops_before`` is the number of clock events the serving loop had
+    already popped when this arrival was pushed — the piece of ordering
+    information a bare timestamp cannot carry (a submission can land
+    while the loop is still catching up on overdue deadlines).  Replaying
+    a trace pushes each arrival at exactly that position, so the replayed
+    heap evolves identically to the live one.
+    """
+
+    query_id: int
+    time: float
+    pops_before: int
+
+
+class OnlineSession:
+    """Clock-agnostic state of one online scheduling run.
+
+    All admission/shed/window/dispatch logic lives here; the only moving
+    part a driver supplies is the :class:`~repro.sim.clocks.Clock` events
+    come from.  Drivers feed popped events to :meth:`handle`; the session
+    pushes its own follow-on events (window reschedules, analytic
+    completions) back into the same clock.
+
+    ``decisions`` is the run's decision log — one tuple per admission
+    verdict, re-optimization pass and dispatch — and is the object the
+    sim-vs-wall clock-equivalence property compares.
+    """
+
+    def __init__(
+        self,
+        scheduler: "OnlineMQOScheduler",
+        workload: "Workload",
+        clock: Clock,
+    ) -> None:
+        self.scheduler = scheduler
+        self.workload = workload
+        self.clock = clock
+        self.config = scheduler.config
+        self.evaluator = WorkloadEvaluator(
+            scheduler.catalog,
+            scheduler.cost_provider,
+            scheduler.default_rates,
+            workload,
+            max_candidates=scheduler.max_candidates,
+        )
+        self.stats = OnlineStats()
+        self.decision = OnlineDecision(
+            result=EvaluationResult(), stats=self.stats,
+            evaluator_stats=self.evaluator.stats,
+        )
+        self.queue: list[int] = []      # admitted, awaiting optimization
+        self.plan: list[int] = []       # optimized dispatch order
+        self.deferred: list[int] = []   # queue-overflow parking lot
+        self.running: set[int] = set()
+        self.free_at: dict[int, float] = {}
+        self.incumbent: list[int] = []  # previous pass's order (warm start)
+        self.dirty = False              # pending set changed since last pass
+        self.pass_serial = 0
+        #: Arrivals still in the clock (sim driver) — keeps the window
+        #: chain alive until the stream is fully replayed.
+        self.arrivals_expected = 0
+        #: A live driver sets this while it may still inject arrivals.
+        self.accepting = False
+        #: The first arrival bootstraps the rolling window chain.
+        self.window_started = False
+        #: Dispatched assignments by query id (live drivers resolve
+        #: completions against this).
+        self.started: dict[int, Assignment] = {}
+        #: The decision log: ("admit"|"shed"|"defer"|"requeue", qid),
+        #: ("window", trigger, order) and ("start", qid, begin, completed).
+        self.decisions: list[tuple] = []
+
+    # -- small helpers -----------------------------------------------------
+
+    def _emit(self, kind: str, subject: str, **details) -> None:
+        tracer = self.scheduler.tracer
+        if tracer is not None:
+            tracer.emit(kind, subject, **details)
+
+    def _pending_ids(self) -> list[int]:
+        return self.plan + self.queue
+
+    def _admit_room(self) -> bool:
+        return len(self.plan) + len(self.queue) < self.config.max_pending
+
+    def expects_more_arrivals(self) -> bool:
+        """Whether the arrival stream may still produce events."""
+        return self.arrivals_expected > 0 or self.accepting
+
+    # -- event handling ----------------------------------------------------
+
+    def handle(self, now: float, tag: str, payload: object) -> str | None:
+        """Process one popped clock event; returns the admission outcome
+        (``"admitted" | "shed" | "deferred"``) for arrival events."""
+        outcome: str | None = None
+        if tag == "arrival":
+            if not self.window_started:
+                self.window_started = True
+                self.clock.push(now + self.config.window, "window", None)
+            if self.arrivals_expected > 0:
+                self.arrivals_expected -= 1
+            outcome = self.submit(typing.cast(int, payload), now)
+        elif tag == "window":
+            self._release_deferred()
+            if self.dirty and self._pending_ids():
+                self._optimize(now, "window")
+            if (
+                self.expects_more_arrivals()
+                or self.queue or self.deferred or self.plan
+            ):
+                self.clock.push(now + self.config.window, "window", None)
+        elif tag == "completion":
+            self.running.discard(payload)
+            self._release_deferred()
+            if self.dirty and self._pending_ids():
+                self._optimize(now, "completion")
+        else:
+            raise OptimizationError(f"unknown clock event tag {tag!r}")
+        self.dispatch(now)
+        return outcome
+
+    def submit(self, qid: int, now: float) -> str:
+        """Admission control for one arrival (shed / defer / admit)."""
+        query = self.workload.query(qid)
+        self.stats.submitted += 1
+        bound = self.evaluator.upper_bound(qid)
+        if bound < self.config.iv_floor:
+            self.decision.shed.append(qid)
+            self.stats.shed += 1
+            self.decisions.append(("shed", qid))
+            self._emit(
+                events.MQO_SHED, query.name,
+                qid=qid, bound=bound, floor=self.config.iv_floor,
+            )
+            return "shed"
+        if not self._admit_room():
+            self.deferred.append(qid)
+            self.stats.deferred += 1
+            self.decisions.append(("defer", qid))
+            return "deferred"
+        self.queue.append(qid)
+        self.stats.admitted += 1
+        self.dirty = True
+        self.decisions.append(("admit", qid))
+        self._emit(events.MQO_ADMIT, query.name, qid=qid, requeued=False)
+        if (
+            self.config.eager_start
+            and self.dirty
+            and not self.running
+            and not self.plan
+        ):
+            self._optimize(now, "idle")
+        return "admitted"
+
+    def _release_deferred(self) -> None:
+        while self.deferred and self._admit_room():
+            qid = self.deferred.pop(0)
+            self.queue.append(qid)
+            self.stats.requeued += 1
+            self.stats.admitted += 1
+            self.dirty = True
+            self.decisions.append(("requeue", qid))
+            self._emit(
+                events.MQO_ADMIT, self.workload.query(qid).name,
+                qid=qid, requeued=True,
+            )
+
+    @profiled("online.window")
+    def _optimize(self, now: float, trigger: str) -> None:
+        pending = self._pending_ids()
+        # Re-optimization cost is timed through the clock so each time
+        # domain books it exactly once: SimClock reads ``perf_counter``
+        # (real seconds outside the simulated stream, as before), while
+        # WallClock reads the same monotonic base that drives stream time
+        # — the cost is a *slice* of the stream, never double-counted.
+        began = self.clock.perf_seconds()
+        workload = self.workload
+        evaluator = self.evaluator
+        evaluator.rebase(self.free_at)
+        ranges = execution_ranges(evaluator, query_ids=pending)
+        groups = conflict_groups(ranges)
+        # Stable sort: ties keep pending order, which on the first pass
+        # is admission order — exactly the batch scheduler's
+        # ``sorted_by_arrival`` tie-breaking.
+        arrival_order = sorted(pending, key=workload.arrival_of)
+        group_orders: dict[int, list[int]] = {}
+        ga_runs = 0
+        warm_seeded = 0
+        for index, group in enumerate(groups):
+            if len(group) < 2:
+                group_orders[index] = list(group)
+                continue
+            group_set = set(group)
+            seeds = [
+                [qid for qid in arrival_order if qid in group_set]
+            ]
+            carried = [qid for qid in self.incumbent if qid in group_set]
+            if len(carried) >= 2:
+                # Warm start: members carried over from the previous
+                # pass keep their decided relative order; members new
+                # to this pass append in arrival order.
+                carried_set = set(carried)
+                warm = carried + [
+                    qid for qid in seeds[0] if qid not in carried_set
+                ]
+                if warm != seeds[0]:
+                    seeds.append(warm)
+                    warm_seeded += 1
+                    self.stats.warm_seeds += 1
+            ga = GeneticAlgorithm(
+                genes=group,
+                fitness=evaluator.sequence_fitness,
+                config=self.scheduler.ga_config,
+                seed=(
+                    self.scheduler.seed
+                    + self.pass_serial * _PASS_SEED_STRIDE
+                    + index
+                ),
+                evaluator_stats=evaluator.stats,
+            )
+            outcome = ga.run(seed_chromosomes=seeds)
+            group_orders[index] = outcome.best
+            ga_runs += 1
+            self.stats.ga_runs += 1
+        ordered_groups = sorted(
+            range(len(groups)),
+            key=lambda index: min(
+                workload.arrival_of(qid) for qid in groups[index]
+            ),
+        )
+        new_plan: list[int] = []
+        for index in ordered_groups:
+            new_plan.extend(group_orders[index])
+        elapsed = self.clock.perf_seconds() - began
+        self.plan[:] = new_plan
+        self.queue.clear()
+        self.incumbent = list(new_plan)
+        self.dirty = False
+        record = WindowRecord(
+            index=len(self.decision.windows),
+            time=now,
+            trigger=trigger,
+            pending=len(pending),
+            groups=len(groups),
+            order=tuple(new_plan),
+            ga_runs=ga_runs,
+            warm_seeded=warm_seeded,
+            reopt_seconds=elapsed,
+        )
+        self.decision.windows.append(record)
+        self.stats.windows += 1
+        self.stats.reopt_seconds += elapsed
+        self.pass_serial += 1
+        self.decisions.append(("window", trigger, tuple(new_plan)))
+        self._emit(
+            events.MQO_WINDOW, f"window:{record.index}",
+            index=record.index, trigger=trigger,
+            pending=record.pending, groups=record.groups,
+            order=list(record.order),
+        )
+
+    def _best_assignment(self, qid: int) -> Assignment:
+        query = self.workload.query(qid)
+        arrival = self.workload.arrival_of(qid)
+        best: Assignment | None = None
+        for candidate in self.evaluator.candidates(query):
+            assignment = self.evaluator._realize(candidate, arrival, self.free_at)
+            if best is None or (
+                assignment.information_value > best.information_value
+            ):
+                best = assignment
+        assert best is not None  # candidates never empty
+        return best
+
+    @profiled("online.dispatch")
+    def dispatch(self, now: float) -> None:
+        # Start plan heads whose begin precedes every event that could
+        # still change the plan; realization is a pure function of the
+        # order and committed state, so *when* we commit is irrelevant
+        # to the schedule — only re-optimization opportunities matter.
+        while self.plan:
+            assignment = self._best_assignment(self.plan[0])
+            if self.clock and assignment.begin > self.clock.peek_time():
+                break
+            qid = self.plan.pop(0)
+            self.evaluator._commit(assignment, self.free_at)
+            self.decision.result.assignments.append(assignment)
+            self.running.add(qid)
+            self.stats.dispatched += 1
+            self.started[qid] = assignment
+            self.decisions.append(
+                ("start", qid, assignment.begin, assignment.completed)
+            )
+            self.clock.push(
+                max(assignment.completed, now), "completion", qid
+            )
+
+    def drain(self) -> None:
+        """Force out anything still pending once no events remain."""
+        if self.queue or self.deferred:  # pragma: no cover - windows drain these
+            self.queue.extend(self.deferred)
+            self.deferred.clear()
+            self._optimize(
+                max(self.free_at.values(), default=0.0), "window"
+            )
+            self.dispatch(self.clock.now)
+
+
 class OnlineMQOScheduler:
     """Rolling-window MQO over a query arrival stream."""
 
@@ -180,232 +507,78 @@ class OnlineMQOScheduler:
         self.tracer = tracer
         self.config = config or OnlineConfig()
 
+    def session(self, workload: "Workload", clock: Clock) -> OnlineSession:
+        """A fresh clock-agnostic session over ``workload``."""
+        return OnlineSession(self, workload, clock)
+
     # -- the event loop ----------------------------------------------------
 
     def run(self, workload: "Workload") -> OnlineDecision:
         """Replay the workload's arrival stream through the online loop."""
         if len(workload) == 0:
             raise OptimizationError("cannot schedule an empty workload")
-        config = self.config
-        evaluator = WorkloadEvaluator(
-            self.catalog,
-            self.cost_provider,
-            self.default_rates,
-            workload,
-            max_candidates=self.max_candidates,
-        )
-        stats = OnlineStats()
-        decision = OnlineDecision(
-            result=EvaluationResult(), stats=stats,
-            evaluator_stats=evaluator.stats,
-        )
-
-        timeline = Timeline()
+        clock = SimClock()
+        session = self.session(workload, clock)
         ordered = workload.sorted_by_arrival()
-        arrivals_left = len(ordered)
+        session.arrivals_expected = len(ordered)
         for query in ordered:
-            timeline.push(
+            clock.push(
                 workload.arrival_of(query.query_id), "arrival", query.query_id
             )
-        first_arrival = workload.arrival_of(ordered[0].query_id)
-        timeline.push(first_arrival + config.window, "window", None)
-
-        queue: list[int] = []      # admitted, awaiting optimization
-        plan: list[int] = []       # optimized dispatch order
-        deferred: list[int] = []   # queue-overflow parking lot
-        running: set[int] = set()
-        free_at: dict[int, float] = {}
-        incumbent: list[int] = []  # previous pass's order (warm start)
-        dirty = False              # pending set changed since last pass
-        pass_serial = 0
-
-        def emit(kind: str, subject: str, **details) -> None:
-            if self.tracer is not None:
-                self.tracer.emit(kind, subject, **details)
-
-        def pending_ids() -> list[int]:
-            return plan + queue
-
-        def admit_room() -> bool:
-            return len(plan) + len(queue) < config.max_pending
-
-        def release_deferred() -> None:
-            nonlocal dirty
-            while deferred and admit_room():
-                qid = deferred.pop(0)
-                queue.append(qid)
-                stats.requeued += 1
-                stats.admitted += 1
-                dirty = True
-                emit(
-                    events.MQO_ADMIT, workload.query(qid).name,
-                    qid=qid, requeued=True,
-                )
-
-        @profiled("online.window")
-        def optimize(now: float, trigger: str) -> None:
-            nonlocal dirty, pass_serial, incumbent, plan
-            pending = pending_ids()
-            began = _time.perf_counter()
-            evaluator.rebase(free_at)
-            ranges = execution_ranges(evaluator, query_ids=pending)
-            groups = conflict_groups(ranges)
-            # Stable sort: ties keep pending order, which on the first pass
-            # is admission order — exactly the batch scheduler's
-            # ``sorted_by_arrival`` tie-breaking.
-            arrival_order = sorted(pending, key=workload.arrival_of)
-            group_orders: dict[int, list[int]] = {}
-            ga_runs = 0
-            warm_seeded = 0
-            for index, group in enumerate(groups):
-                if len(group) < 2:
-                    group_orders[index] = list(group)
-                    continue
-                group_set = set(group)
-                seeds = [
-                    [qid for qid in arrival_order if qid in group_set]
-                ]
-                carried = [qid for qid in incumbent if qid in group_set]
-                if len(carried) >= 2:
-                    # Warm start: members carried over from the previous
-                    # pass keep their decided relative order; members new
-                    # to this pass append in arrival order.
-                    carried_set = set(carried)
-                    warm = carried + [
-                        qid for qid in seeds[0] if qid not in carried_set
-                    ]
-                    if warm != seeds[0]:
-                        seeds.append(warm)
-                        warm_seeded += 1
-                        stats.warm_seeds += 1
-                ga = GeneticAlgorithm(
-                    genes=group,
-                    fitness=evaluator.sequence_fitness,
-                    config=self.ga_config,
-                    seed=self.seed + pass_serial * _PASS_SEED_STRIDE + index,
-                    evaluator_stats=evaluator.stats,
-                )
-                outcome = ga.run(seed_chromosomes=seeds)
-                group_orders[index] = outcome.best
-                ga_runs += 1
-                stats.ga_runs += 1
-            ordered_groups = sorted(
-                range(len(groups)),
-                key=lambda index: min(
-                    workload.arrival_of(qid) for qid in groups[index]
-                ),
-            )
-            new_plan: list[int] = []
-            for index in ordered_groups:
-                new_plan.extend(group_orders[index])
-            elapsed = _time.perf_counter() - began
-            plan[:] = new_plan
-            queue.clear()
-            incumbent = list(new_plan)
-            dirty = False
-            record = WindowRecord(
-                index=len(decision.windows),
-                time=now,
-                trigger=trigger,
-                pending=len(pending),
-                groups=len(groups),
-                order=tuple(new_plan),
-                ga_runs=ga_runs,
-                warm_seeded=warm_seeded,
-                reopt_seconds=elapsed,
-            )
-            decision.windows.append(record)
-            stats.windows += 1
-            stats.reopt_seconds += elapsed
-            pass_serial += 1
-            emit(
-                events.MQO_WINDOW, f"window:{record.index}",
-                index=record.index, trigger=trigger,
-                pending=record.pending, groups=record.groups,
-                order=list(record.order),
-            )
-
-        def best_assignment(qid: int) -> Assignment:
-            query = workload.query(qid)
-            arrival = workload.arrival_of(qid)
-            best: Assignment | None = None
-            for candidate in evaluator.candidates(query):
-                assignment = evaluator._realize(candidate, arrival, free_at)
-                if best is None or (
-                    assignment.information_value > best.information_value
-                ):
-                    best = assignment
-            assert best is not None  # candidates never empty
-            return best
-
-        @profiled("online.dispatch")
-        def dispatch(now: float) -> None:
-            # Start plan heads whose begin precedes every event that could
-            # still change the plan; realization is a pure function of the
-            # order and committed state, so *when* we commit is irrelevant
-            # to the schedule — only re-optimization opportunities matter.
-            while plan:
-                assignment = best_assignment(plan[0])
-                if timeline and assignment.begin > timeline.peek_time():
-                    break
-                qid = plan.pop(0)
-                evaluator._commit(assignment, free_at)
-                decision.result.assignments.append(assignment)
-                running.add(qid)
-                stats.dispatched += 1
-                timeline.push(
-                    max(assignment.completed, now), "completion", qid
-                )
-
-        while timeline:
-            now, tag, payload = timeline.pop()
-            if tag == "arrival":
-                arrivals_left -= 1
-                qid = payload
-                query = workload.query(qid)
-                stats.submitted += 1
-                bound = evaluator.upper_bound(qid)
-                if bound < config.iv_floor:
-                    decision.shed.append(qid)
-                    stats.shed += 1
-                    emit(
-                        events.MQO_SHED, query.name,
-                        qid=qid, bound=bound, floor=config.iv_floor,
-                    )
-                elif not admit_room():
-                    deferred.append(qid)
-                    stats.deferred += 1
-                else:
-                    queue.append(qid)
-                    stats.admitted += 1
-                    dirty = True
-                    emit(events.MQO_ADMIT, query.name, qid=qid, requeued=False)
-                    if (
-                        config.eager_start
-                        and dirty
-                        and not running
-                        and not plan
-                    ):
-                        optimize(now, "idle")
-            elif tag == "window":
-                release_deferred()
-                if dirty and pending_ids():
-                    optimize(now, "window")
-                if arrivals_left or queue or deferred or plan:
-                    timeline.push(now + config.window, "window", None)
-            else:  # completion
-                running.discard(payload)
-                release_deferred()
-                if dirty and pending_ids():
-                    optimize(now, "completion")
-            dispatch(now)
-
+        while clock:
+            now, tag, payload = clock.pop()
+            session.handle(now, tag, payload)
         # No events left: everything admitted must drain unconditionally.
-        if queue or deferred:  # pragma: no cover - windows drain these
-            queue.extend(deferred)
-            deferred.clear()
-            optimize(
-                max(free_at.values(), default=0.0), "window"
-            )
-            dispatch(0.0)
-        return decision
+        session.drain()
+        return session.decision
+
+
+def replay_decisions(
+    scheduler: OnlineMQOScheduler,
+    workload: "Workload",
+    arrivals: "Sequence[ArrivalRecord]",
+    stop_accepting_at: int | None = None,
+) -> OnlineSession:
+    """Replay a recorded live arrival trace through a :class:`SimClock`.
+
+    ``workload`` must contain every recorded query with its live arrival
+    time; ``arrivals`` is the service's :class:`ArrivalRecord` log.  Each
+    arrival is pushed only once the replayed loop has popped as many
+    events as the live loop had when the submission landed, so the
+    replayed heap — and therefore every admission, window and dispatch
+    decision — evolves exactly as the wall run's did.
+
+    ``stop_accepting_at`` is the live loop's pop count when its driver
+    stopped accepting submissions (``QueryService`` records it at
+    shutdown).  Until that count the session keeps ``accepting`` set, so
+    idle windows keep rescheduling exactly as the live run's did — the
+    rolling-window chain, and with it every event's heap position, is
+    part of the recorded behaviour.  ``None`` means the live driver never
+    accepted beyond the recorded arrivals (plain trace replay).
+
+    Returns the finished session; compare its ``decisions`` against the
+    live one's.
+    """
+    clock = SimClock()
+    session = scheduler.session(workload, clock)
+    remaining = list(arrivals)
+    pops = 0
+    session.accepting = stop_accepting_at is not None and pops < stop_accepting_at
+    while remaining or clock:
+        # Pushes scheduled between live pops replay at the same position:
+        # the live handler's own pushes (made during pop N's handling)
+        # landed first, arrivals with pops_before == N after — matching
+        # this loop's handle-then-push ordering, so heap tie-breaking by
+        # sequence number is preserved exactly.
+        while remaining and remaining[0].pops_before <= pops:
+            record = remaining.pop(0)
+            clock.push(record.time, "arrival", record.query_id)
+        if stop_accepting_at is not None and pops >= stop_accepting_at:
+            session.accepting = False
+        if not clock:
+            break  # pragma: no cover - malformed trace (future pops_before)
+        now, tag, payload = clock.pop()
+        pops += 1
+        session.handle(now, tag, payload)
+    session.drain()
+    return session

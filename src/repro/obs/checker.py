@@ -520,9 +520,9 @@ class TraceChecker:
         """SLO alert invariants.
 
         * **alert-alternation** — per rule subject, ``alert.open`` and
-          ``alert.close`` strictly alternate starting with an open
-          (prefix-sensitive: a close whose open was evicted is excused
-          when drops occurred);
+          ``alert.close`` strictly alternate starting with an open, and
+          no alert is left open at end of trace (prefix-sensitive: a
+          close whose open was evicted is excused when drops occurred);
         * **alert-well-formed** — every alert event names its rule,
           metric, value and thresholds;
         * **alert-window** — the windows reference real times inside the
@@ -574,6 +574,16 @@ class TraceChecker:
                             f"open event was at {previous}",
                         ))
                 open_at[record.subject] = None
+        # A run must not end mid-breach: every open needs a matching close
+        # (SLOMonitor.finalize emits audited final closes at shutdown).
+        for subject in sorted(open_at):
+            opened = open_at[subject]
+            if opened is not None:
+                violations.append(Violation(
+                    "alert-alternation", subject,
+                    f"alert opened at {opened} is still open at end of "
+                    f"trace (missing alert.close — finalize() not called?)",
+                ))
 
     def _check_faults(
         self, records: Sequence[TraceRecord], violations: list[Violation]

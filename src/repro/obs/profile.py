@@ -77,23 +77,34 @@ class _Scope:
 
     def __enter__(self) -> "_Scope":
         self._index = self._profiler._open(self._name)
-        self._start = perf_counter()
+        self._start = self._profiler._timer()
         return self
 
     def __exit__(self, *exc) -> bool:
-        elapsed = perf_counter() - self._start
+        elapsed = self._profiler._timer() - self._start
         self._profiler._close(self._name, self._index, elapsed)
         return False
 
 
 class WallProfiler:
-    """Collects nested wall-clock scopes into a flat record list."""
+    """Collects nested wall-clock scopes into a flat record list.
 
-    def __init__(self, enabled: bool = False) -> None:
+    ``timer`` is the monotonic-seconds source (default ``perf_counter``);
+    a serving runtime passes its :class:`~repro.sim.clocks.Clock`'s
+    ``perf_seconds`` so profile rows share the clock that drives stream
+    time — one time base, no cross-domain skew.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        timer: Callable[[], float] = perf_counter,
+    ) -> None:
         self.enabled = enabled
         self.records: list[ProfileRecord] = []
         self._stack: list[int] = []   # indices of open records
         self._epoch: float | None = None
+        self._timer = timer
 
     # -- collection ---------------------------------------------------------
 
@@ -101,7 +112,7 @@ class WallProfiler:
         """Start (or resume) collecting."""
         self.enabled = True
         if self._epoch is None:
-            self._epoch = perf_counter()
+            self._epoch = self._timer()
 
     def disable(self) -> None:
         """Stop collecting (already-recorded scopes are kept)."""
@@ -122,14 +133,14 @@ class WallProfiler:
 
     def _open(self, name: str) -> int:
         if self._epoch is None:
-            self._epoch = perf_counter()
+            self._epoch = self._timer()
         index = len(self.records)
         parent = self._stack[-1] if self._stack else None
         # Reserve the slot so children recorded before this scope closes
         # keep a stable parent index; duration lands at close.
         self.records.append(ProfileRecord(
             name=name,
-            start=perf_counter() - self._epoch,
+            start=self._timer() - self._epoch,
             duration=0.0,
             depth=len(self._stack),
             parent=parent,

@@ -177,6 +177,7 @@ class Alert:
 class _RuleState:
     breach_since: float | None = None   #: first breached evaluation of this episode
     alert: Alert | None = None          #: the currently open alert
+    last_value: float | None = None     #: latest observed metric value
 
 
 class SLOMonitor:
@@ -234,6 +235,7 @@ class SLOMonitor:
             if value is None:
                 continue
             state = self._states[rule.name]
+            state.last_value = value
             if state.alert is None:
                 if rule.breached(value):
                     if state.breach_since is None:
@@ -258,6 +260,36 @@ class SLOMonitor:
                 )
                 state.alert = None
                 state.breach_since = None
+
+    def finalize(self, now: float) -> list[Alert]:
+        """Close every still-open alert at end of run.
+
+        A run (or service) that stops while a rule is breaching would
+        otherwise leave its last ``alert.open`` dangling — the trace fails
+        the checker's alert-alternation audit and the HTML dashboard shows
+        a breach that outlives the data.  Call this once after the final
+        record: each open alert is closed at ``now`` with the last
+        observed metric value and an audited ``alert.close`` carrying
+        ``final=True`` (the breach did not clear; the run ended).
+        Returns the alerts that were force-closed.  Idempotent.
+        """
+        closed: list[Alert] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            alert = state.alert
+            if alert is None:
+                continue
+            value = state.last_value if state.last_value is not None else alert.value
+            alert.closed_at = now
+            alert.close_value = value
+            self._emit(
+                events.ALERT_CLOSE, rule, value=value,
+                opened_at=alert.opened_at, final=True,
+            )
+            state.alert = None
+            state.breach_since = None
+            closed.append(alert)
+        return closed
 
     def _emit(self, kind: str, rule: SLORule, **detail) -> None:
         if self.tracer is not None:

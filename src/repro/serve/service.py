@@ -1,0 +1,387 @@
+"""The live query service: OnlineSession under a WallClock.
+
+:class:`QueryService` is the serving counterpart of
+:meth:`~repro.mqo.online.OnlineMQOScheduler.run`: the same clock-agnostic
+:class:`~repro.mqo.online.OnlineSession` handles every event, but events
+come from a :class:`~repro.sim.clocks.WallClock` — arrivals are pushed by
+live submissions, window closes fire when their wall deadline is really
+due, and completions resolve the submitters' futures.
+
+Contracts the simulations already enforce carry over unchanged:
+
+* **Checker-clean trace.**  Every admitted query gets the full lifecycle
+  (``submit → plan → exec.start → complete → ledger``) with an
+  :class:`~repro.obs.ledger.IVLedgerEntry` whose ``recompute_iv`` is
+  bit-identical to the reported IV; shed queries get ``mqo.shed`` and no
+  ``submit`` (they never enter the system).  ``TraceChecker().check``
+  passes on a drained service's trace — ``serve-smoke`` asserts it.
+* **Deterministic replay.**  The service records every arrival as an
+  :class:`~repro.mqo.online.ArrivalRecord` (stamp + heap position);
+  :meth:`QueryService.replay` re-runs the trace through a
+  :class:`~repro.sim.clocks.SimClock` and reproduces the live
+  ``decisions`` log exactly (the clock-equivalence property).
+* **Live telemetry.**  A :class:`~repro.obs.live.LiveRegistry` and
+  :class:`~repro.obs.slo.SLOMonitor` subscribe to the same tracer; the
+  HTTP layer serves their snapshot as ``/metrics`` and the dashboard
+  renderer as ``/status``.  Shutdown finalizes the monitor so no alert
+  dangles open.
+
+Stream time is in minutes (``WallClock.seconds_per_minute`` compresses
+it); the service's *logical* clock — what the tracer stamps — is the
+event time of the latest popped event, so trace times are exactly the
+times the scheduling decisions were made at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing
+from dataclasses import dataclass, replace
+
+from repro.core.value import information_value
+from repro.errors import WorkloadError
+from repro.experiments.fig9 import Fig9Config, build_mqo_scheduler
+from repro.mqo.ga import GAConfig
+from repro.mqo.online import (
+    ArrivalRecord,
+    OnlineConfig,
+    OnlineMQOScheduler,
+    OnlineSession,
+    replay_decisions,
+)
+from repro.obs import events
+from repro.obs.checker import TraceChecker, Violation
+from repro.obs.ledger import IVLedgerEntry
+from repro.obs.live import LiveRegistry
+from repro.obs.slo import SLOMonitor, default_slo_rules
+from repro.sim.clocks import WallClock
+from repro.sim.trace import Tracer
+from repro.workload.generator import random_queries
+from repro.workload.query import DSSQuery, Workload
+
+__all__ = ["ServeConfig", "QueryService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one service instance."""
+
+    #: Wall seconds per stream minute (1.0 = compressed; 60.0 = honest
+    #: real time; benches go much smaller).
+    seconds_per_minute: float = 1.0
+    #: Rolling re-optimization window (stream minutes).
+    window: float = 2.0
+    #: Pending-queue bound; overflow defers to the next window.
+    max_pending: int = 16
+    #: Admission floor (shed below this IV upper bound).
+    iv_floor: float = 0.0
+    #: Optimize immediately on arrival to an idle system.
+    eager_start: bool = True
+    #: How many query templates the catalog workload exposes.
+    num_templates: int = 12
+    #: Seed for the synthetic federation and the GA.
+    seed: int = 11
+    #: GA generations per group (serving favors low re-optimization cost).
+    ga_generations: int = 20
+    #: Tracer retention (None = unbounded; a long-lived service bounds it).
+    trace_capacity: int | None = None
+    #: Attach the stock SLO rule set.
+    slo: bool = True
+
+
+class QueryService:
+    """Accepts live query submissions and schedules them in real time.
+
+    Drive it from asyncio: start :meth:`run` as a task, call
+    :meth:`submit` from request handlers, await the returned futures,
+    and finish with :meth:`begin_shutdown` (the run task then drains and
+    returns).  All methods are event-loop-internal — no locking, exactly
+    like the single-threaded sim loop this mirrors.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        base, setup = build_mqo_scheduler(Fig9Config(seed=self.config.seed))
+        self.templates: list[DSSQuery] = random_queries(
+            setup.instance, count=self.config.num_templates,
+            seed=self.config.seed + 1000,
+        )
+        self._template_by_name = {
+            template.name: template for template in self.templates
+        }
+        self._logical_now = 0.0
+        self.tracer = Tracer(
+            lambda: self._logical_now, capacity=self.config.trace_capacity
+        )
+        self.registry = LiveRegistry().attach(self.tracer)
+        self.monitor: SLOMonitor | None = None
+        if self.config.slo:
+            self.monitor = SLOMonitor(
+                default_slo_rules(), self.registry
+            ).attach(self.tracer)
+        self.scheduler = OnlineMQOScheduler(
+            base.catalog,
+            base.cost_provider,
+            base.default_rates,
+            ga_config=GAConfig(generations=self.config.ga_generations),
+            seed=base.seed,
+            max_candidates=base.max_candidates,
+            tracer=self.tracer,
+            config=OnlineConfig(
+                window=self.config.window,
+                max_pending=self.config.max_pending,
+                iv_floor=self.config.iv_floor,
+                eager_start=self.config.eager_start,
+            ),
+        )
+        self.workload = Workload()
+        self.clock = WallClock(
+            seconds_per_minute=self.config.seconds_per_minute
+        )
+        self.session: OnlineSession = self.scheduler.session(
+            self.workload, self.clock
+        )
+        self.session.accepting = True
+        self._next_qid = 0
+        self._pops = 0
+        self._decision_cursor = 0
+        self._stop_pops: int | None = None
+        self.arrival_log: list[ArrivalRecord] = []
+        self.results: dict[int, dict] = {}
+        self._decision_futures: dict[int, asyncio.Future] = {}
+        self._result_futures: dict[int, asyncio.Future] = {}
+        self._finished = asyncio.Event()
+
+    # -- submissions ---------------------------------------------------------
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new submissions are currently admitted."""
+        return self.session.accepting
+
+    def _resolve_template(self, template: object) -> DSSQuery:
+        if isinstance(template, int) or (
+            isinstance(template, str) and template.lstrip("-").isdigit()
+        ):
+            index = int(template)
+            if not 0 <= index < len(self.templates):
+                raise WorkloadError(
+                    f"template index {index} out of range "
+                    f"0..{len(self.templates) - 1}"
+                )
+            return self.templates[index]
+        if template in self._template_by_name:
+            return self._template_by_name[typing.cast(str, template)]
+        raise WorkloadError(
+            f"unknown template {template!r}; expected an index or one of "
+            f"{sorted(self._template_by_name)}"
+        )
+
+    def submit(
+        self,
+        template: object,
+        business_value: float | None = None,
+    ) -> tuple[int, asyncio.Future, asyncio.Future]:
+        """Submit one query; returns ``(qid, decision, result)`` futures.
+
+        ``decision`` resolves to ``"admitted" | "deferred" | "shed"`` once
+        the scheduling loop handles the arrival; ``result`` resolves to
+        the result payload (with the IV ledger entry) at completion — or
+        immediately to a shed notice.  Raises
+        :class:`~repro.errors.WorkloadError` on an unknown template or a
+        service that is shutting down.
+        """
+        if not self.session.accepting:
+            raise WorkloadError("service is shutting down; not accepting")
+        query = self._resolve_template(template)
+        qid = self._next_qid
+        self._next_qid += 1
+        query = replace(query, query_id=qid)
+        if business_value is not None:
+            query = query.with_value(business_value)
+        stamp = self.clock.now
+        loop = asyncio.get_running_loop()
+        decision: asyncio.Future = loop.create_future()
+        result: asyncio.Future = loop.create_future()
+        self._decision_futures[qid] = decision
+        self._result_futures[qid] = result
+        self.workload.add(query, arrival=stamp)
+        # The heap position (pops_before) is the half of the arrival's
+        # identity a timestamp can't carry — see ArrivalRecord.
+        self.arrival_log.append(ArrivalRecord(qid, stamp, self._pops))
+        self.clock.push(stamp, "arrival", qid)
+        return qid, decision, result
+
+    # -- the serving loop ----------------------------------------------------
+
+    async def run(self) -> None:
+        """Pop clock events until shutdown drains the last one."""
+        drained = False
+        while True:
+            item = await self.clock.wait_pop()
+            if item is None:
+                if not drained:
+                    drained = True
+                    self.session.drain()
+                    if self.clock:  # pragma: no cover - drain is a no-op
+                        continue    # when windows did their job
+                break
+            now, tag, payload = item
+            self._pops += 1
+            self._logical_now = max(self._logical_now, now)
+            outcome = self.session.handle(now, tag, payload)
+            if tag == "arrival":
+                self._on_arrival(typing.cast(int, payload), outcome)
+            self._emit_new_starts()
+            if tag == "completion":
+                self._on_completion(typing.cast(int, payload), now)
+        if self.monitor is not None:
+            self.monitor.finalize(self._logical_now)
+        self._finished.set()
+
+    def begin_shutdown(self) -> None:
+        """Stop accepting and let :meth:`run` drain and return."""
+        if self._stop_pops is None:
+            self._stop_pops = self._pops
+        self.session.accepting = False
+        self.clock.stop()
+
+    async def wait_finished(self) -> None:
+        """Block until :meth:`run` has fully drained."""
+        await self._finished.wait()
+
+    # -- event bookkeeping ---------------------------------------------------
+
+    def _on_arrival(self, qid: int, outcome: str | None) -> None:
+        query = self.workload.query(qid)
+        decision = self._decision_futures.pop(qid, None)
+        if decision is not None and not decision.done():
+            decision.set_result(outcome)
+        if outcome == "shed":
+            # No submit event: a shed query never enters the system, so
+            # the lifecycle checker must not expect a completion.
+            self._finish(qid, {
+                "qid": qid, "query": query.name, "outcome": "shed",
+            })
+            return
+        self.tracer.emit(events.SUBMIT, query.name, qid=qid)
+        self.tracer.emit(
+            events.PLAN, query.name,
+            qid=qid, est_iv=self.session.evaluator.upper_bound(qid),
+        )
+
+    def _emit_new_starts(self) -> None:
+        decisions = self.session.decisions
+        for entry in decisions[self._decision_cursor:]:
+            if entry[0] == "start":
+                qid = entry[1]
+                self.tracer.emit(
+                    events.EXEC_START, self.workload.query(qid).name,
+                    qid=qid, begin=entry[2],
+                )
+        self._decision_cursor = len(decisions)
+
+    def _on_completion(self, qid: int, completed_at: float) -> None:
+        assignment = self.session.started[qid]
+        query = assignment.query
+        rates = assignment.plan.rates
+        submitted_at = self.workload.arrival_of(qid)
+        started_at = max(assignment.begin, submitted_at)
+        # The event's pop time is the completion instant the service
+        # observed (>= the analytic completion when dispatch ran late);
+        # using it keeps COMPLETE's trace time and the ledger bit-equal.
+        cl = completed_at - submitted_at
+        sl = max(0.0, completed_at - assignment.data_timestamp)
+        iv = information_value(query.business_value, cl, sl, rates)
+        entry = IVLedgerEntry(
+            query=query.name,
+            query_id=qid,
+            business_value=query.business_value,
+            lambda_cl=rates.computational,
+            lambda_sl=rates.synchronization,
+            submitted_at=submitted_at,
+            started_at=started_at,
+            remote_done_at=started_at,
+            local_granted_at=started_at,
+            local_done_at=completed_at,
+            completed_at=completed_at,
+            data_timestamp=assignment.data_timestamp,
+            queue_wait=0.0,
+            remote_wait=0.0,
+            retries=0,
+            failovers=0,
+            degraded=False,
+            failed=False,
+            reported_iv=iv,
+            versions=(),
+        )
+        self.tracer.emit(
+            events.COMPLETE, query.name, qid=qid, iv=iv, cl=cl, sl=sl
+        )
+        self.tracer.emit(events.LEDGER, query.name, **entry.to_dict())
+        self._finish(qid, {
+            "qid": qid,
+            "query": query.name,
+            "outcome": "completed",
+            "iv": iv,
+            "cl": cl,
+            "sl": sl,
+            "submitted_at": submitted_at,
+            "completed_at": completed_at,
+            "ledger": entry.to_dict(),
+        })
+
+    def _finish(self, qid: int, payload: dict) -> None:
+        self.results[qid] = payload
+        future = self._result_futures.pop(qid, None)
+        if future is not None and not future.done():
+            future.set_result(payload)
+
+    # -- introspection -------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The live registry's snapshot at the current logical time."""
+        return self.registry.snapshot(self._logical_now)
+
+    def status_html(self) -> str:
+        """The live status page (dashboard renderer over the registry)."""
+        from repro.reporting.dashboard import live_report_html
+
+        alerts = self.monitor.alerts if self.monitor is not None else []
+        return live_report_html(
+            [self.metrics_snapshot()], alerts,
+            title="repro serve — live status",
+        )
+
+    def check_trace(self) -> list[Violation]:
+        """Run the TraceChecker over everything traced so far."""
+        return TraceChecker().check(self.tracer.records)
+
+    def replay(self) -> OnlineSession:
+        """Re-run the recorded arrival trace under a :class:`SimClock`.
+
+        Builds a fresh tracer-less scheduler over the same federation and
+        a workload carrying the recorded arrival stamps, then replays the
+        arrival log at its recorded heap positions.  The returned
+        session's ``decisions`` must equal this service's — the
+        clock-equivalence contract behind the whole Clock seam.
+        """
+        scheduler = OnlineMQOScheduler(
+            self.scheduler.catalog,
+            self.scheduler.cost_provider,
+            self.scheduler.default_rates,
+            ga_config=self.scheduler.ga_config,
+            seed=self.scheduler.seed,
+            max_candidates=self.scheduler.max_candidates,
+            tracer=None,
+            config=self.scheduler.config,
+        )
+        workload = Workload()
+        for record in self.arrival_log:
+            workload.add(
+                self.workload.query(record.query_id), arrival=record.time
+            )
+        return replay_decisions(
+            scheduler, workload, self.arrival_log,
+            stop_accepting_at=self._stop_pops,
+        )

@@ -9,12 +9,23 @@ and analytic completions without spinning up a simulation.
 Entries at the same instant pop in push order (a monotonically increasing
 sequence number breaks ties), so replays are deterministic and arrival
 order is preserved exactly.
+
+Pushes are validated: a NaN would poison heap comparisons (every
+comparison against NaN is false, so ``heapq`` silently loses its
+invariant and events pop in corrupted order), an infinite deadline can
+never fire, and a time before the latest pop would schedule an event in
+the past — replaying such a heap is no longer deterministic.  All three
+raise :class:`~repro.errors.SimulationError` at the push site, where the
+bug is, instead of surfacing later as a scrambled replay.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any
+
+from repro.errors import SimulationError
 
 __all__ = ["Timeline"]
 
@@ -22,15 +33,40 @@ __all__ = ["Timeline"]
 class Timeline:
     """Min-heap of ``(time, tag, payload)`` events, FIFO within an instant."""
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "_now")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, str, Any]] = []
         self._seq = 0
+        self._now: float | None = None  # time of the latest pop
+
+    @property
+    def now(self) -> float:
+        """Time of the latest pop (0.0 before the first)."""
+        return 0.0 if self._now is None else self._now
 
     def push(self, time: float, tag: str, payload: Any = None) -> None:
-        """Schedule an event; same-time events pop in push order."""
-        heapq.heappush(self._heap, (float(time), self._seq, tag, payload))
+        """Schedule an event; same-time events pop in push order.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is NaN or infinite (heap order would corrupt /
+            the event could never fire) or lies before the latest popped
+            time (an event scheduled into the past breaks replay
+            determinism).
+        """
+        time = float(time)
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"cannot schedule {tag!r} at non-finite time {time!r}"
+            )
+        if self._now is not None and time < self._now:
+            raise SimulationError(
+                f"cannot schedule {tag!r} at {time}: timeline already "
+                f"advanced to {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, tag, payload))
         self._seq += 1
 
     def pop(self) -> tuple[float, str, Any]:
@@ -39,6 +75,7 @@ class Timeline:
         Raises :class:`IndexError` when empty, like ``heapq``.
         """
         time, _seq, tag, payload = heapq.heappop(self._heap)
+        self._now = time
         return time, tag, payload
 
     def peek_time(self) -> float:

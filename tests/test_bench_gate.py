@@ -14,6 +14,7 @@ from repro.experiments.bench_gate import (
     classify,
     compare,
     flatten_metrics,
+    key_mismatch,
     render_gate,
     run_gate,
 )
@@ -99,9 +100,10 @@ class TestCompare:
         current = {"fast": {"wall_seconds": 0.5, "best_fitness": 3.5}}
         assert compare("mqo", self.baseline, current) == []
 
-    def test_one_sided_metrics_are_skipped(self):
-        # New fields (or removed ones) must not trip the gate before the
-        # baseline is refreshed.
+    def test_one_sided_metrics_are_not_value_compared(self):
+        # compare() never value-diffs a metric present on only one side —
+        # there is nothing meaningful to diff against.  The drift itself
+        # is key_mismatch()'s job, and GateResult.passed fails on it.
         current = {"fast": {"best_fitness": 3.0, "new_wall_seconds": 99.0}}
         assert compare("mqo", self.baseline, current) == []
 
@@ -114,6 +116,42 @@ class TestCompare:
             compare("mqo", {}, {}, wall_tolerance=0.5)
         with pytest.raises(ConfigError):
             compare("mqo", {}, {}, iv_tolerance=-1.0)
+
+
+class TestKeyMismatch:
+    """Regression: baseline/fresh key drift must fail loudly, not KeyError.
+
+    Before the fix a snapshot script that grew or lost a gated field kept
+    gating the shrinking intersection silently; the committed baseline no
+    longer described what the script measured.
+    """
+
+    baseline = {"fast": {"wall_seconds": 1.0, "best_fitness": 3.0}}
+
+    def test_added_gated_key_reported(self):
+        current = {
+            "fast": {"wall_seconds": 1.0, "best_fitness": 3.0},
+            "extra": {"reopt_seconds": 0.1},
+        }
+        added, removed = key_mismatch(self.baseline, current)
+        assert added == ["extra.reopt_seconds"] and removed == []
+
+    def test_removed_gated_key_reported(self):
+        current = {"fast": {"wall_seconds": 1.0}}
+        added, removed = key_mismatch(self.baseline, current)
+        assert added == [] and removed == ["fast.best_fitness"]
+
+    def test_ungated_drift_is_ignored(self):
+        # Counters and labels are not gated, so their drift is not a
+        # baseline-staleness signal.
+        current = {
+            "fast": {"wall_seconds": 1.0, "best_fitness": 3.0, "calls": 7},
+            "note": {"queries": 12},
+        }
+        assert key_mismatch(self.baseline, current) == ([], [])
+
+    def test_matching_snapshots_are_clean(self):
+        assert key_mismatch(self.baseline, self.baseline) == ([], [])
 
 
 class TestRunGate:
@@ -152,6 +190,43 @@ class TestRunGate:
             (root / "BENCH_history.jsonl").read_text().splitlines()[0]
         )
         assert line["passed"] is False and line["regressions"]
+
+    def test_gate_fails_when_the_snapshot_grows_a_gated_key(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        (root / "benchmarks" / "mqo_snapshot.py").write_text(
+            "def snapshot():\n"
+            "    return {'fast': {'wall_seconds': 1.0, 'best_fitness': 3.0,\n"
+            "                     'reopt_seconds': 0.2}}\n"
+        )
+        results = run_gate(["mqo"], root=root)
+        assert not results[0].passed
+        assert results[0].added == ["fast.reopt_seconds"]
+        assert results[0].regressions == []
+        report = render_gate(results)
+        assert "MISMATCH" in report and "+fast.reopt_seconds" in report
+        assert "make bench-mqo" in report  # the actionable fix
+
+    def test_gate_fails_when_the_baseline_has_a_stale_gated_key(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        (root / "BENCH_mqo.json").write_text(json.dumps({
+            "fast": {"wall_seconds": 1.0, "best_fitness": 3.0, "mean_iv": 2.0},
+        }))
+        results = run_gate(["mqo"], root=root)
+        assert not results[0].passed
+        assert results[0].removed == ["fast.mean_iv"]
+        assert "-fast.mean_iv" in render_gate(results)
+
+    def test_mismatch_lands_in_history(self, tmp_path):
+        root = self.fake_repo(tmp_path)
+        (root / "BENCH_mqo.json").write_text(json.dumps({
+            "fast": {"wall_seconds": 1.0, "best_fitness": 3.0, "mean_iv": 2.0},
+        }))
+        run_gate(["mqo"], root=root)
+        line = json.loads(
+            (root / "BENCH_history.jsonl").read_text().splitlines()[0]
+        )
+        assert line["passed"] is False
+        assert line["removed"] == ["fast.mean_iv"]
 
     def test_env_var_sets_the_tolerance(self, tmp_path, monkeypatch):
         root = self.fake_repo(tmp_path, slowdown=2.0)

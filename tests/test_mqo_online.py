@@ -352,3 +352,87 @@ class TestOnlineStats:
         stats = OnlineStats()
         assert stats.submitted == stats.dispatched == stats.windows == 0
         assert stats.reopt_seconds == 0.0
+
+
+class TestReoptAccounting:
+    """Regression: re-optimization time is booked through the Clock seam.
+
+    The window pass used to read the module-level ``perf_counter()``
+    directly; under a :class:`~repro.sim.clocks.WallClock` that
+    double-booked the cost (once as ``reopt_seconds``, again as stream
+    latency measured by the same timer).  It now reads
+    ``clock.perf_seconds()`` — provable with a clock whose perf counter
+    is synthetic.
+    """
+
+    def test_reopt_seconds_are_read_from_the_session_clock(self):
+        from repro.sim.clocks import SimClock
+
+        class CountingClock(SimClock):
+            # Every reading advances exactly 0.5 synthetic seconds, so
+            # each window's (end - began) pair books exactly 0.5 — a
+            # total only reachable through *this* clock.
+            def __init__(self):
+                super().__init__()
+                self.readings = 0
+
+            def perf_seconds(self):
+                self.readings += 1
+                return self.readings * 0.5
+
+        scheduler = build_online()
+        workload = burst_workload(count=4)
+        clock = CountingClock()
+        session = scheduler.session(workload, clock)
+        ordered = workload.sorted_by_arrival()
+        session.arrivals_expected = len(ordered)
+        for query in ordered:
+            clock.push(
+                workload.arrival_of(query.query_id), "arrival", query.query_id
+            )
+        while clock:
+            now, tag, payload = clock.pop()
+            session.handle(now, tag, payload)
+        session.drain()
+        stats = session.stats
+        assert stats.windows > 0 and clock.readings >= 2 * stats.windows
+        assert stats.reopt_seconds == pytest.approx(0.5 * stats.windows)
+        assert all(
+            record.reopt_seconds == pytest.approx(0.5)
+            for record in session.decision.windows
+        )
+
+    @pytest.mark.slow
+    def test_ext4_numbers_unchanged_under_simclock(self):
+        # The committed BENCH_online.json was produced by the
+        # pre-refactor scheduler; the clock-agnostic session must realize
+        # the exact same online total IV on the same reduced EXT4 stream.
+        import json
+        from pathlib import Path
+
+        from repro.experiments.fig9 import Fig9Config, build_mqo_scheduler
+        from repro.experiments.runner import reissue_stream
+        from repro.workload.arrival import poisson_arrivals
+        from repro.workload.generator import random_queries
+
+        baseline = json.loads(Path("BENCH_online.json").read_text())
+
+        scheduler, setup = build_mqo_scheduler(
+            Fig9Config(ga=GAConfig(generations=30))
+        )
+        templates = random_queries(setup.instance, count=8, seed=23)
+        stream = reissue_stream(templates, rounds=2)
+        arrivals = poisson_arrivals(1.0, len(stream), seed=7)
+        workload = Workload.from_queries(stream, arrivals=arrivals)
+        online = OnlineMQOScheduler(
+            scheduler.catalog,
+            scheduler.cost_provider,
+            scheduler.default_rates,
+            ga_config=GAConfig(generations=20),
+            seed=scheduler.seed,
+            config=OnlineConfig(window=4.0, max_pending=16, iv_floor=0.02),
+        )
+        decision = online.run(workload)
+        assert decision.total_information_value == pytest.approx(
+            baseline["total_iv"]["online"], abs=1e-9,
+        )

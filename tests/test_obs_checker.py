@@ -302,6 +302,26 @@ class TestAlertRules:
         ]
         assert "alert-window" in rules_of(TraceChecker().check(records))
 
+    def test_open_still_dangling_at_end_of_trace_caught(self):
+        # Regression: a run that stopped mid-breach used to pass the
+        # audit with its last alert.open unmatched.  The close must exist
+        # (SLOMonitor.finalize emits it at shutdown).
+        records = [
+            self.base,
+            alert_record(1.0, events.ALERT_OPEN, since=0.5),
+        ]
+        violations = TraceChecker().check(records)
+        assert "alert-alternation" in rules_of(violations)
+        assert any("still open" in v.message for v in violations)
+        # With the close appended (what finalize produces) the pair is clean.
+        records.append(
+            alert_record(2.0, events.ALERT_CLOSE, opened_at=1.0, final=True)
+        )
+        assert TraceChecker().check(records) == []
+        # A bounded tracer that evicted records downgrades the rule, like
+        # every other prefix-sensitive alternation failure.
+        assert TraceChecker().check(records[:2], dropped=1) == []
+
     def test_alert_missing_detail_keys_caught(self):
         record = TraceRecord(1.0, events.ALERT_OPEN, "slo:r", {"rule": "r"})
         assert "alert-well-formed" in rules_of(

@@ -194,6 +194,94 @@ class TestSLOMonitorAttached:
         assert len(opens) == 1
 
 
+class TestFinalize:
+    """Regression: a run ending mid-breach left its alert dangling open.
+
+    The trace then failed the checker's alert-alternation audit (an
+    ``alert.open`` with no close) and the dashboard showed a breach that
+    outlived the data.  ``finalize`` closes every open alert with an
+    audited, ``final=True`` close.
+    """
+
+    def make_breaching_monitor(self):
+        rule = SLORule("r", "gauges.x", "above", threshold=10.0)
+        monitor = SLOMonitor([rule], LiveRegistry())
+        monitor.evaluate(snap("gauges", "x", 12.0), 1.0)
+        assert len(monitor.open_alerts) == 1
+        return monitor
+
+    def test_finalize_closes_open_alerts_with_last_value(self):
+        monitor = self.make_breaching_monitor()
+        monitor.evaluate(snap("gauges", "x", 15.0), 2.0)  # still breaching
+        closed = monitor.finalize(3.0)
+        assert len(closed) == 1 and monitor.open_alerts == []
+        alert = closed[0]
+        assert alert.closed_at == 3.0
+        assert alert.close_value == 15.0  # last observed, not the opener
+
+    def test_finalize_is_idempotent(self):
+        monitor = self.make_breaching_monitor()
+        assert len(monitor.finalize(2.0)) == 1
+        assert monitor.finalize(3.0) == []
+        assert len(monitor.alerts) == 1
+
+    def test_finalize_without_open_alerts_is_a_no_op(self):
+        rule = SLORule("r", "gauges.x", "above", threshold=10.0)
+        monitor = SLOMonitor([rule], LiveRegistry())
+        assert monitor.finalize(1.0) == []
+
+    def test_dangling_alert_fails_the_checker_until_finalized(self):
+        # The pre-fix failure mode, end to end on a traced monitor: the
+        # trace with a dangling open fails alert-alternation; finalize
+        # emits the audited close and the same trace passes.
+        from repro.obs.checker import TraceChecker
+
+        rule = SLORule(
+            "dwell", "gauges.faults.outage_dwell", "above",
+            threshold=5.0, clear=0.0,
+        )
+        clock = [0.0]
+        tracer = Tracer(lambda: clock[0])
+        registry = LiveRegistry().attach(tracer)
+        monitor = SLOMonitor([rule], registry).attach(tracer)
+        tracer.emit(events.FAULT_DOWN, "site:1")
+        clock[0] = 7.0
+        tracer.emit(events.SYNC_APPLY, "a", gap=0.5)  # dwell 7 > 5: opens
+        assert len(monitor.open_alerts) == 1
+
+        violations = TraceChecker().check(tracer.records)
+        assert any(
+            v.rule == "alert-alternation" and "still open" in v.message
+            for v in violations
+        )
+
+        clock[0] = 8.0
+        monitor.finalize(8.0)
+        assert TraceChecker().check(tracer.records) == []
+        close = next(
+            record for record in tracer.records
+            if record.kind == events.ALERT_CLOSE
+        )
+        assert close.detail["final"] is True
+        assert close.detail["opened_at"] == 7.0
+
+    def test_run_live_leaves_no_dangling_alerts(self):
+        # run_live finalizes at shutdown; every alert it reports is closed
+        # and the emitted trace passes the alternation audit.
+        from repro.experiments.live import run_live
+        from repro.obs.checker import TraceChecker
+
+        result = run_live()
+        assert all(not alert.open for alert in result.alerts)
+        records = result.system.tracer.records
+        assert not any(
+            violation.rule == "alert-alternation"
+            for violation in TraceChecker().check(
+                records, dropped=result.system.tracer.dropped
+            )
+        )
+
+
 class TestReplay:
     def make_traced_alert_run(self):
         rule = SLORule(

@@ -1,0 +1,200 @@
+"""End-to-end tests: the wall-clock serving runtime over real sockets.
+
+Every test spins up the full stack — :class:`QueryService` popping a
+:class:`~repro.sim.clocks.WallClock` inside asyncio, fronted by the
+stdlib HTTP server on an ephemeral port — and drives it through the
+client helper, exactly the way ``python -m repro serve`` is used.  Stream
+time is compressed (10 ms per stream minute) so the whole file runs in
+seconds while exercising the same scheduling decisions as real time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.obs import events
+from repro.serve import HTTPServer, QueryService, ServeConfig, http_request
+from repro.serve.bench import ServeBenchConfig, percentile, serve_bench, serve_smoke
+
+
+def config(**overrides) -> ServeConfig:
+    base = dict(
+        seconds_per_minute=0.01, num_templates=6, ga_generations=5, seed=11,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+async def _with_server(cfg, body):
+    """Start a service + server, run ``body(service, host, port)``, drain."""
+    service = QueryService(cfg)
+    server = HTTPServer(service, port=0)
+    await server.start()
+    try:
+        host, port = server.address
+        await body(service, host, port)
+    finally:
+        await server.stop()
+    return service
+
+
+class TestHTTPRoundTrips:
+    def test_concurrent_submissions_complete_with_ledgers(self):
+        async def body(service, host, port):
+            responses = await asyncio.gather(*(
+                http_request(host, port, "POST", "/submit", {"template": i % 6})
+                for i in range(5)
+            ))
+            for status, payload in responses:
+                assert status == 200
+                assert payload["outcome"] == "completed"
+                ledger = payload["ledger"]
+                assert ledger["reported_iv"] == payload["iv"]
+                assert ledger["completed_at"] == payload["completed_at"]
+
+        service = asyncio.run(_with_server(config(), body))
+        assert service.check_trace() == []
+        assert len(service.results) == 5
+
+    def test_submit_by_template_name(self):
+        async def body(service, host, port):
+            name = service.templates[0].name
+            status, payload = await http_request(
+                host, port, "POST", "/submit", {"template": name}
+            )
+            assert status == 200
+            assert payload["query"] == name
+
+        asyncio.run(_with_server(config(), body))
+
+    def test_unknown_template_is_a_400(self):
+        async def body(service, host, port):
+            status, payload = await http_request(
+                host, port, "POST", "/submit", {"template": "nope"}
+            )
+            assert status == 400 and "unknown template" in payload["error"]
+            status, payload = await http_request(
+                host, port, "POST", "/submit", {"template": 999}
+            )
+            assert status == 400 and "out of range" in payload["error"]
+
+        asyncio.run(_with_server(config(), body))
+
+    def test_fire_and_forget_then_result_endpoint(self):
+        async def body(service, host, port):
+            status, payload = await http_request(
+                host, port, "POST", "/submit", {"template": 1, "wait": False}
+            )
+            assert status == 200 and payload["outcome"] in (
+                "admitted", "deferred",
+            )
+            status, result = await http_request(
+                host, port, "GET", f"/result/{payload['qid']}"
+            )
+            assert status == 200 and result["outcome"] == "completed"
+
+        asyncio.run(_with_server(config(), body))
+
+    def test_unknown_qid_is_a_404_and_bad_qid_a_400(self):
+        async def body(service, host, port):
+            status, _ = await http_request(host, port, "GET", "/result/123")
+            assert status == 404
+            status, _ = await http_request(host, port, "GET", "/result/abc")
+            assert status == 400
+
+        asyncio.run(_with_server(config(), body))
+
+    def test_metrics_status_and_healthz(self):
+        async def body(service, host, port):
+            await http_request(host, port, "POST", "/submit", {"template": 0})
+            status, metrics = await http_request(host, port, "GET", "/metrics")
+            assert status == 200
+            assert metrics["counters"]["query.submitted"] >= 1
+            status, page = await http_request(host, port, "GET", "/status")
+            assert status == 200 and "live status" in page
+            status, health = await http_request(host, port, "GET", "/healthz")
+            assert status == 200 and health["ok"] is True
+            status, _ = await http_request(host, port, "GET", "/nope")
+            assert status == 404
+
+        asyncio.run(_with_server(config(), body))
+
+
+class TestAdmissionOverHTTP:
+    def test_absurd_iv_floor_sheds_everything(self):
+        async def body(service, host, port):
+            status, payload = await http_request(
+                host, port, "POST", "/submit", {"template": 0}
+            )
+            assert status == 200 and payload["outcome"] == "shed"
+
+        service = asyncio.run(_with_server(config(iv_floor=1e9), body))
+        # A shed query never enters the system: no lifecycle events, and
+        # the trace still audits clean (no dangling submit).
+        kinds = [record.kind for record in service.tracer.records]
+        assert events.SUBMIT not in kinds
+        assert events.MQO_SHED in kinds
+        assert service.check_trace() == []
+
+    def test_draining_service_refuses_submissions(self):
+        async def body(service, host, port):
+            service.begin_shutdown()
+            status, payload = await http_request(
+                host, port, "POST", "/submit", {"template": 0}
+            )
+            assert status == 503 and "draining" in payload["error"]
+            with pytest.raises(WorkloadError):
+                service.submit(0)
+
+        asyncio.run(_with_server(config(), body))
+
+
+class TestShutdownContracts:
+    def test_drained_trace_is_checker_clean_and_replay_equal(self):
+        async def body(service, host, port):
+            await asyncio.gather(*(
+                http_request(host, port, "POST", "/submit", {"template": i % 6})
+                for i in range(4)
+            ))
+
+        service = asyncio.run(_with_server(config(), body))
+        assert service.check_trace() == []
+        assert service.replay().decisions == service.session.decisions
+
+    def test_no_alert_dangles_open_after_shutdown(self):
+        async def body(service, host, port):
+            await http_request(host, port, "POST", "/submit", {"template": 0})
+
+        service = asyncio.run(_with_server(config(), body))
+        assert service.monitor is not None
+        assert service.monitor.open_alerts == []
+
+
+class TestServeBenchHarness:
+    def test_percentile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 0.5) == 30.0
+        assert percentile(values, 1.0) == 40.0
+        with pytest.raises(Exception):
+            percentile([], 0.5)
+
+    def test_smoke_passes(self):
+        assert asyncio.run(serve_smoke()) == 0
+
+    @pytest.mark.slow
+    def test_bench_shape_matches_the_committed_snapshot(self):
+        data = asyncio.run(serve_bench(ServeBenchConfig(
+            baseline_queries=4, overload_queries=4,
+        )))
+        for phase in ("baseline", "overload"):
+            for key in (
+                "queries", "shed_rate", "qps", "iv_total",
+                "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+            ):
+                assert key in data[phase]
+        assert data["trace"]["violations"] == 0
+        assert data["trace"]["replay_equal"] is True

@@ -1,0 +1,173 @@
+"""Unit tests: the Clock seam (SimClock / WallClock) and Timeline validation.
+
+The Timeline tests are regression tests for the event-heap edge cases the
+serving runtime exposed: a NaN deadline silently poisons heap ordering
+(every comparison is False, so the heap invariant quietly breaks), and a
+push *behind* the pop frontier would deliver an event into the past.
+Both now raise :class:`~repro.errors.SimulationError` at push time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from time import perf_counter
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clocks import Clock, SimClock, WallClock
+from repro.sim.timeline import Timeline
+
+
+class TestTimelineValidation:
+    """Regression: invalid deadlines must fail loudly at push time."""
+
+    def test_nan_deadline_rejected(self):
+        timeline = Timeline()
+        with pytest.raises(SimulationError):
+            timeline.push(math.nan, "arrival", 1)
+
+    def test_infinite_deadline_rejected(self):
+        timeline = Timeline()
+        with pytest.raises(SimulationError):
+            timeline.push(math.inf, "arrival", 1)
+        with pytest.raises(SimulationError):
+            timeline.push(-math.inf, "arrival", 1)
+
+    def test_push_behind_the_pop_frontier_rejected(self):
+        timeline = Timeline()
+        timeline.push(5.0, "a")
+        assert timeline.pop()[0] == 5.0
+        with pytest.raises(SimulationError):
+            timeline.push(4.9, "late")
+
+    def test_push_at_the_frontier_is_allowed(self):
+        timeline = Timeline()
+        timeline.push(5.0, "a")
+        timeline.pop()
+        timeline.push(5.0, "b", "same-instant")
+        assert timeline.pop() == (5.0, "b", "same-instant")
+
+    def test_rejected_push_leaves_the_heap_intact(self):
+        timeline = Timeline()
+        timeline.push(1.0, "a")
+        with pytest.raises(SimulationError):
+            timeline.push(math.nan, "bad")
+        assert len(timeline) == 1
+        assert timeline.pop() == (1.0, "a", None)
+
+
+class TestSimClock:
+    def test_satisfies_the_clock_protocol(self):
+        assert isinstance(SimClock(), Clock)
+
+    def test_now_tracks_the_latest_pop(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.push(3.0, "a")
+        clock.push(1.0, "b")
+        assert clock.pop()[0] == 1.0
+        assert clock.now == 1.0
+        assert clock.pop()[0] == 3.0
+        assert clock.now == 3.0
+
+    def test_fifo_tie_break(self):
+        clock = SimClock()
+        for payload in range(5):
+            clock.push(2.0, "tie", payload)
+        assert [clock.pop()[2] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_truthiness(self):
+        clock = SimClock()
+        assert not clock and len(clock) == 0
+        clock.push(1.0, "a")
+        assert clock and len(clock) == 1
+
+    def test_perf_seconds_is_monotonic_wall_time(self):
+        clock = SimClock()
+        before = perf_counter()
+        reading = clock.perf_seconds()
+        assert before <= reading <= perf_counter()
+
+    def test_wraps_an_existing_timeline(self):
+        timeline = Timeline()
+        timeline.push(4.0, "pre")
+        clock = SimClock(timeline)
+        assert clock.peek_time() == 4.0
+
+
+class TestWallClock:
+    def test_satisfies_the_clock_protocol(self):
+        assert isinstance(WallClock(), Clock)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(SimulationError):
+            WallClock(seconds_per_minute=0.0)
+        with pytest.raises(SimulationError):
+            WallClock(seconds_per_minute=-1.0)
+
+    def test_now_advances_with_real_time(self):
+        clock = WallClock(seconds_per_minute=0.001)  # 1 ms per stream minute
+        first = clock.now
+        deadline = perf_counter() + 1.0
+        while clock.now == first and perf_counter() < deadline:
+            pass
+        assert clock.now > first
+
+    def test_wait_pop_returns_a_due_event(self):
+        async def run():
+            clock = WallClock(seconds_per_minute=0.001)
+            clock.push(clock.now, "arrival", 7)
+            return await asyncio.wait_for(clock.wait_pop(), timeout=5.0)
+
+        _time, tag, payload = asyncio.run(run())
+        assert tag == "arrival" and payload == 7
+
+    def test_push_wakes_a_sleeping_waiter_early(self):
+        async def run():
+            clock = WallClock(seconds_per_minute=0.001)
+            # A far-future event the waiter would otherwise sleep on.
+            clock.push(clock.now + 10_000.0, "far", None)
+            waiter = asyncio.create_task(clock.wait_pop())
+            await asyncio.sleep(0)  # let the waiter reach its sleep
+            clock.push(clock.now, "near", "woke")
+            return await asyncio.wait_for(waiter, timeout=5.0)
+
+        _time, tag, payload = asyncio.run(run())
+        assert tag == "near" and payload == "woke"
+
+    def test_stop_drains_immediately_preserving_scheduled_times(self):
+        async def run():
+            clock = WallClock(seconds_per_minute=60.0)  # honest real time
+            clock.push(clock.now + 100.0, "first", 1)
+            clock.push(clock.now + 200.0, "second", 2)
+            clock.stop()
+            popped = [
+                await asyncio.wait_for(clock.wait_pop(), timeout=5.0)
+                for _ in range(3)
+            ]
+            return popped
+
+        started = perf_counter()
+        first, second, sentinel = asyncio.run(run())
+        assert perf_counter() - started < 5.0  # no real-time wait
+        assert first[1] == "first" and second[1] == "second"
+        assert second[0] > first[0] > 90.0  # logical deadlines intact
+        assert sentinel is None
+
+    def test_stop_releases_a_waiter_blocked_on_an_empty_heap(self):
+        async def run():
+            clock = WallClock(seconds_per_minute=0.001)
+            waiter = asyncio.create_task(clock.wait_pop())
+            await asyncio.sleep(0)
+            clock.stop()
+            return await asyncio.wait_for(waiter, timeout=5.0)
+
+        assert asyncio.run(run()) is None
+
+    def test_len_and_truthiness(self):
+        clock = WallClock()
+        assert not clock and len(clock) == 0
+        clock.push(clock.now + 1.0, "a")
+        assert clock and len(clock) == 1
