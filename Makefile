@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-online test-live test-serve serve-smoke trace-check lint ci bench bench-mqo bench-faults bench-online bench-serve bench-gate experiments check examples all
+.PHONY: install test test-fast test-faults test-online test-live test-serve test-durable serve-smoke serve-smoke-resume trace-check lint ci bench bench-mqo bench-faults bench-online bench-serve bench-gate experiments check examples all
 
 install:
 	pip install -e .
@@ -30,10 +30,20 @@ test-live:
 test-serve:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_sim_clocks.py tests/test_serve.py tests/test_clock_equivalence.py -q
 
+# The durable layer: journal framing/torn-write fuzzing, crash-injection
+# equivalence (including the Hypothesis property sweep), golden journal.
+test-durable:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_durable_journal.py tests/test_durable_resume.py tests/test_durable_properties.py -q
+
 # End-to-end HTTP pass over every route; asserts checker-clean trace and
 # SimClock replay equivalence.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro serve-smoke
+
+# Kill a journaled HTTP service mid-flight, resume from its journal, and
+# prove the merged run is checker-clean and replay/recompute bit-equal.
+serve-smoke-resume:
+	PYTHONPATH=src $(PYTHON) -m repro serve-smoke --kill-resume
 
 # Audit the fig4 golden scenario with the trace invariant checker.
 trace-check:
@@ -55,8 +65,10 @@ ci: lint
 	$(MAKE) test-online
 	$(MAKE) test-live
 	$(MAKE) test-serve
+	$(MAKE) test-durable
 	$(MAKE) trace-check
 	$(MAKE) serve-smoke
+	$(MAKE) serve-smoke-resume
 	$(MAKE) bench-online
 	$(MAKE) bench-serve
 	$(MAKE) bench-gate

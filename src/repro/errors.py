@@ -45,3 +45,16 @@ class EngineError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or system configuration is invalid."""
+
+
+class DurabilityError(ReproError):
+    """A journal or snapshot is corrupt, truncated, or inconsistent.
+
+    ``offset`` is the byte offset of the first bad record in the journal
+    file (``None`` when the failure is not tied to a file position), so
+    operators can inspect exactly where a torn write landed.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.offset = offset

@@ -210,10 +210,27 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import HTTPServer, QueryService, ServeConfig
 
+    from repro.serve.service import journal_serve_config
+
     async def serve() -> int:
-        service = QueryService(ServeConfig(
-            seconds_per_minute=args.seconds_per_minute,
-        ))
+        if args.resume and args.journal:
+            # The journal header's config wins: resume must rebuild the
+            # crashed run's exact scheduler or the replay diverges.
+            service = QueryService(
+                journal_serve_config(args.journal),
+                journal=args.journal, resume=True,
+            )
+            if service.resumed_at_pops is not None:
+                print(
+                    f"resumed from {args.journal} at pop "
+                    f"{service.resumed_at_pops} "
+                    f"({len(service.results)} results restored)"
+                )
+        else:
+            service = QueryService(ServeConfig(
+                seconds_per_minute=args.seconds_per_minute,
+                snapshot_every=args.snapshot_every,
+            ), journal=args.journal)
         server = HTTPServer(service, host=args.host, port=args.port)
         await server.start()
         host, port = server.address
@@ -221,7 +238,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(
             "  POST /submit {\"template\": <index|name>, \"wait\": true} | "
             "GET /result/<qid> | /metrics | /status | /healthz | "
-            "POST /shutdown"
+            "POST /checkpoint | POST /shutdown"
         )
         print(f"  templates: {', '.join(t.name for t in service.templates)}")
         try:
@@ -258,6 +275,32 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _run_resume_verify(args: argparse.Namespace) -> int:
+    """``resume-verify``: audit a serve journal end-to-end.
+
+    Recovers the journal twice (pure replay and via its last snapshot)
+    with a scheduler rebuilt from the journal header's own config, and
+    requires both recoveries to agree bit-for-bit — see
+    :func:`repro.durable.recovery.verify_journal`.
+    """
+    import json
+
+    from repro.durable import verify_journal
+    from repro.serve.service import build_serve_scheduler, journal_serve_config
+
+    config = journal_serve_config(args.journal)
+    report = verify_journal(
+        args.journal, lambda: build_serve_scheduler(config)[0]
+    )
+    body = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body + "\n")
+    else:
+        print(body)
+    return 0 if report["ok"] else 1
+
+
 def _run_bench_gate(args: argparse.Namespace) -> int:
     """``bench-gate``: re-run benchmark snapshots and fail on regressions."""
     from repro.experiments.bench_gate import render_gate, run_gate
@@ -285,13 +328,14 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "check", "trace", "bench-gate", "serve", "serve-bench",
-           "serve-smoke"],
+           "serve-smoke", "resume-verify"],
         help=(
             "which figure to regenerate ('check' audits every claimed "
             "shape; 'trace' runs an observability scenario; 'bench-gate' "
             "re-runs the committed benchmark snapshots and fails on "
             "regressions; 'serve' starts the wall-clock HTTP query "
-            "service; 'serve-bench'/'serve-smoke' drive it with load)"
+            "service; 'serve-bench'/'serve-smoke' drive it with load; "
+            "'resume-verify' audits a --journal for exact resumability)"
         ),
     )
     parser.add_argument(
@@ -379,6 +423,35 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help=(
+            "('serve'/'serve-smoke'/'resume-verify') durable journal "
+            "path: 'serve' appends every scheduling record to it, "
+            "'resume-verify' audits it"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "('serve' only) recover state from --journal before serving; "
+            "the journal header's config overrides the command line"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=0,
+        help=(
+            "('serve' only, with --journal) checkpoint every N pops "
+            "(0 = only explicit POST /checkpoint; default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--kill-resume", action="store_true",
+        help=(
+            "('serve-smoke' only) run the crash/resume smoke: kill a "
+            "journaled live service mid-flight and resume it"
+        ),
+    )
+    parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     args = parser.parse_args(argv)
@@ -389,6 +462,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("a scenario argument is only valid with 'trace'")
     if args.experiment == "bench-gate":
         return _run_bench_gate(args)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
+    if args.experiment == "resume-verify":
+        if not args.journal:
+            parser.error("resume-verify requires --journal")
+        return _run_resume_verify(args)
     if args.experiment == "serve":
         return _run_serve(args)
     if args.experiment == "serve-bench":
@@ -396,8 +475,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "serve-smoke":
         import asyncio
 
-        from repro.serve.bench import serve_smoke
+        from repro.serve.bench import serve_kill_resume_smoke, serve_smoke
 
+        if args.kill_resume:
+            return asyncio.run(serve_kill_resume_smoke(args.journal))
         return asyncio.run(serve_smoke())
     if args.live_metrics:
         if args.experiment != "stream-mqo":

@@ -46,7 +46,7 @@ bit-identical to :meth:`WorkloadScheduler.schedule`
 from __future__ import annotations
 
 import typing
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.enumeration import CostProvider
 from repro.core.value import DiscountRates
@@ -174,6 +174,31 @@ class OnlineDecision:
 
 
 @dataclass(frozen=True)
+class _RestoredPlan:
+    """Stand-in for a dispatched query's plan after a snapshot restore.
+
+    A restored session only touches a *started* assignment's plan for its
+    discount rates (ledger synthesis at completion); the full
+    :class:`QueryPlan` lives in the evaluator caches, which are rebuilt
+    deterministically rather than persisted.
+    """
+
+    rates: DiscountRates
+
+
+def _encode_decision(entry: tuple) -> list:
+    """JSON-safe form of one decision-log tuple."""
+    return [list(part) if isinstance(part, tuple) else part for part in entry]
+
+
+def _decode_decision(entry: list) -> tuple:
+    """Inverse of :func:`_encode_decision` (nested lists become tuples)."""
+    return tuple(
+        tuple(part) if isinstance(part, list) else part for part in entry
+    )
+
+
+@dataclass(frozen=True)
 class ArrivalRecord:
     """One recorded live arrival: who, when, and *between which events*.
 
@@ -264,6 +289,113 @@ class OnlineSession:
     def expects_more_arrivals(self) -> bool:
         """Whether the arrival stream may still produce events."""
         return self.arrivals_expected > 0 or self.accepting
+
+    # -- durable snapshots -------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """A JSON-safe snapshot of every field the scheduling logic reads.
+
+        The evaluator is deliberately *not* captured: it is a
+        deterministic cache rebuilt from the scheduler's seed and rebased
+        on ``free_at`` at the top of every optimization pass, so a fresh
+        evaluator over a restored session reproduces decisions bit-for-bit
+        (the PR 1 fast-path contract).  Dispatched assignments persist as
+        minimal stand-ins — rates and timestamps — which is everything
+        completion handling and IV accounting ever read back.
+        """
+
+        def assignment_state(assignment: Assignment) -> dict:
+            return {
+                "qid": assignment.query.query_id,
+                "arrival": assignment.arrival,
+                "begin": assignment.begin,
+                "completed": assignment.completed,
+                "data_timestamp": assignment.data_timestamp,
+                "lambda_cl": assignment.plan.rates.computational,
+                "lambda_sl": assignment.plan.rates.synchronization,
+            }
+
+        windows = []
+        for record in self.decision.windows:
+            window = asdict(record)
+            window["order"] = list(record.order)
+            windows.append(window)
+        return {
+            "queue": list(self.queue),
+            "plan": list(self.plan),
+            "deferred": list(self.deferred),
+            "running": sorted(self.running),
+            "free_at": {str(site): at for site, at in self.free_at.items()},
+            "incumbent": list(self.incumbent),
+            "dirty": self.dirty,
+            "pass_serial": self.pass_serial,
+            "arrivals_expected": self.arrivals_expected,
+            "accepting": self.accepting,
+            "window_started": self.window_started,
+            "stats": asdict(self.stats),
+            "shed": list(self.decision.shed),
+            "windows": windows,
+            "decisions": [
+                _encode_decision(entry) for entry in self.decisions
+            ],
+            "dispatch_order": [
+                assignment.query.query_id
+                for assignment in self.decision.result.assignments
+            ],
+            "started": {
+                str(qid): assignment_state(assignment)
+                for qid, assignment in self.started.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild this session exactly as :meth:`capture_state` saw it.
+
+        The session's workload must already contain every query the
+        captured run had admitted or dispatched (recovery rebuilds it from
+        the journal's arrival records before restoring).
+        """
+        self.queue = [int(qid) for qid in state["queue"]]
+        self.plan = [int(qid) for qid in state["plan"]]
+        self.deferred = [int(qid) for qid in state["deferred"]]
+        self.running = {int(qid) for qid in state["running"]}
+        self.free_at = {
+            int(site): float(at) for site, at in state["free_at"].items()
+        }
+        self.incumbent = [int(qid) for qid in state["incumbent"]]
+        self.dirty = bool(state["dirty"])
+        self.pass_serial = int(state["pass_serial"])
+        self.arrivals_expected = int(state["arrivals_expected"])
+        self.accepting = bool(state["accepting"])
+        self.window_started = bool(state["window_started"])
+        self.stats = OnlineStats(**state["stats"])
+        self.decisions = [
+            _decode_decision(entry) for entry in state["decisions"]
+        ]
+        self.started = {}
+        for qid_text, data in state["started"].items():
+            qid = int(qid_text)
+            rates = DiscountRates(data["lambda_cl"], data["lambda_sl"])
+            self.started[qid] = Assignment(
+                query=self.workload.query(qid),
+                plan=typing.cast(typing.Any, _RestoredPlan(rates)),
+                arrival=data["arrival"],
+                begin=data["begin"],
+                completed=data["completed"],
+                data_timestamp=data["data_timestamp"],
+            )
+        self.decision = OnlineDecision(
+            result=EvaluationResult(assignments=[
+                self.started[int(qid)] for qid in state["dispatch_order"]
+            ]),
+            shed=[int(qid) for qid in state["shed"]],
+            windows=[
+                WindowRecord(**{**window, "order": tuple(window["order"])})
+                for window in state["windows"]
+            ],
+            stats=self.stats,
+            evaluator_stats=self.evaluator.stats,
+        )
 
     # -- event handling ----------------------------------------------------
 

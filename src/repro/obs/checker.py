@@ -127,6 +127,7 @@ class TraceChecker:
         self._check_faults(records, violations)
         self._check_online(records, violations)
         self._check_alerts(records, violations)
+        self._check_durability(records, violations)
         if dropped > 0:
             violations = [
                 violation for violation in violations
@@ -584,6 +585,65 @@ class TraceChecker:
                     f"alert opened at {opened} is still open at end of "
                     f"trace (missing alert.close — finalize() not called?)",
                 ))
+
+    def _check_durability(
+        self, records: Sequence[TraceRecord], violations: list[Violation]
+    ) -> None:
+        """Checkpoint/resume invariants across a crash boundary.
+
+        * **resume-pops-monotonic** — every ``durable.resume`` carries the
+          pop count it recovered to; successive resumes (and the
+          checkpoints between them) must advance strictly, or a resume
+          silently rewound history;
+        * **resume-covers-checkpoint** — a resume must have replayed at
+          least to the last checkpoint journaled before the crash;
+        * **resume-no-resurrection** — a query that completed before a
+          crash boundary must not start, complete or re-enter the system
+          after it: recovery replays history, it does not re-execute it.
+        """
+        last_resume_pops = -1
+        last_checkpoint_pops = -1
+        completed: set[int] = set()
+        for record in records:
+            if record.kind == events.CHECKPOINT:
+                pops = record.detail.get("pops", -1)
+                if pops < last_checkpoint_pops:
+                    violations.append(Violation(
+                        "resume-pops-monotonic", record.subject,
+                        f"checkpoint at pop {pops} after one at "
+                        f"{last_checkpoint_pops}",
+                    ))
+                last_checkpoint_pops = max(last_checkpoint_pops, pops)
+            elif record.kind == events.RESUME:
+                pops = record.detail.get("pops", -1)
+                if pops <= last_resume_pops:
+                    violations.append(Violation(
+                        "resume-pops-monotonic", record.subject,
+                        f"resume at pop {pops} after a resume at "
+                        f"{last_resume_pops}",
+                    ))
+                if pops < last_checkpoint_pops:
+                    violations.append(Violation(
+                        "resume-covers-checkpoint", record.subject,
+                        f"resume replayed to pop {pops} but a checkpoint "
+                        f"was journaled at pop {last_checkpoint_pops}",
+                    ))
+                last_resume_pops = max(last_resume_pops, pops)
+            elif record.kind in (events.COMPLETE, events.FAILED):
+                qid = record.detail.get("qid")
+                if qid is not None:
+                    completed.add(qid)
+            elif (
+                record.kind in (events.SUBMIT, events.EXEC_START)
+                and last_resume_pops >= 0
+            ):
+                qid = record.detail.get("qid")
+                if qid is not None and qid in completed:
+                    violations.append(Violation(
+                        "resume-no-resurrection", record.subject,
+                        f"qid {qid} completed before the resume boundary "
+                        f"but {record.kind!r} reappears after it",
+                    ))
 
     def _check_faults(
         self, records: Sequence[TraceRecord], violations: list[Violation]

@@ -27,7 +27,8 @@ __all__ = [
     "MQO_GROUPS", "MQO_GA", "MQO_ORDER",
     "MQO_WINDOW", "MQO_ADMIT", "MQO_SHED",
     "ALERT_OPEN", "ALERT_CLOSE",
-    "QUERY_LIFECYCLE_KINDS", "LEG_KINDS", "ALERT_KINDS",
+    "CHECKPOINT", "RESUME",
+    "QUERY_LIFECYCLE_KINDS", "LEG_KINDS", "ALERT_KINDS", "DURABLE_KINDS",
 ]
 
 # -- query lifecycle (subject = query name, detail carries qid) ------------
@@ -67,6 +68,10 @@ MQO_WINDOW = "mqo.window"      #: one re-optimization pass (detail: index/order)
 MQO_ADMIT = "mqo.admit"        #: query admitted to the pending queue
 MQO_SHED = "mqo.shed"          #: query shed by admission control (IV floor)
 
+# -- durability (subject = "journal") --------------------------------------
+CHECKPOINT = "durable.checkpoint"  #: a session snapshot was journaled (detail: pops)
+RESUME = "durable.resume"          #: a crashed run was recovered (detail: pops)
+
 # -- SLO monitoring (subject = "slo:<rule>") -------------------------------
 ALERT_OPEN = "alert.open"      #: an SLO rule entered breach (detail: value/threshold/since)
 ALERT_CLOSE = "alert.close"    #: the breach cleared (detail: value/opened_at)
@@ -85,3 +90,6 @@ LEG_KINDS = frozenset({
 
 #: Kinds emitted by the SLO monitor.
 ALERT_KINDS = frozenset({ALERT_OPEN, ALERT_CLOSE})
+
+#: Kinds emitted by the durability layer (checkpoint/resume boundaries).
+DURABLE_KINDS = frozenset({CHECKPOINT, RESUME})

@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass
 
 from repro.core.value import DiscountRates, information_value
 
-__all__ = ["VersionProvenance", "IVLedgerEntry"]
+__all__ = ["VersionProvenance", "IVLedgerEntry", "completion_ledger"]
 
 #: Phase-conservation tolerance: the telescoping sum of float differences
 #: may deviate from ``completed_at − submitted_at`` by a few ulps.
@@ -235,3 +235,51 @@ class IVLedgerEntry:
             VersionProvenance.from_dict(version) for version in data["versions"]
         )
         return cls(**fields)
+
+
+def completion_ledger(
+    query_name: str,
+    query_id: int,
+    business_value: float,
+    rates: DiscountRates,
+    submitted_at: float,
+    begin: float,
+    completed_at: float,
+    data_timestamp: float,
+) -> IVLedgerEntry:
+    """The online serving path's ledger entry for one completion.
+
+    One shared constructor for every driver of an online session — the
+    live :class:`~repro.serve.service.QueryService`, the durable journal
+    replay, and the crash/resume harness — so a recovered run's ledger is
+    **bit-identical** to the live run's: same floats, same
+    :func:`~repro.core.value.information_value` call, same field layout.
+    The completion instant is the event's pop time (>= the analytic
+    completion when dispatch ran late), matching the COMPLETE trace event.
+    """
+    started_at = max(begin, submitted_at)
+    cl = completed_at - submitted_at
+    sl = max(0.0, completed_at - data_timestamp)
+    iv = information_value(business_value, cl, sl, rates)
+    return IVLedgerEntry(
+        query=query_name,
+        query_id=query_id,
+        business_value=business_value,
+        lambda_cl=rates.computational,
+        lambda_sl=rates.synchronization,
+        submitted_at=submitted_at,
+        started_at=started_at,
+        remote_done_at=started_at,
+        local_granted_at=started_at,
+        local_done_at=completed_at,
+        completed_at=completed_at,
+        data_timestamp=data_timestamp,
+        queue_wait=0.0,
+        remote_wait=0.0,
+        retries=0,
+        failovers=0,
+        degraded=False,
+        failed=False,
+        reported_iv=iv,
+        versions=(),
+    )

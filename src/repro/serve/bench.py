@@ -30,14 +30,22 @@ a handful of queries over HTTP exercising every route, then hard asserts
 from __future__ import annotations
 
 import asyncio
+import tempfile
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from time import perf_counter
 
 from repro.errors import SimulationError
 from repro.serve.httpd import HTTPServer, http_request
-from repro.serve.service import QueryService, ServeConfig
+from repro.serve.service import QueryService, ServeConfig, journal_serve_config
 
-__all__ = ["ServeBenchConfig", "serve_bench", "serve_smoke", "percentile"]
+__all__ = [
+    "ServeBenchConfig",
+    "serve_bench",
+    "serve_smoke",
+    "serve_kill_resume_smoke",
+    "percentile",
+]
 
 
 @dataclass(frozen=True)
@@ -257,4 +265,118 @@ async def serve_smoke(queries: int = 5) -> int:
         f"{len(service.session.decisions)} decisions",
     )
     print(f"serve-smoke: {'PASS' if failures == 0 else f'{failures} FAILURES'}")
+    return 0 if failures == 0 else 1
+
+
+async def serve_kill_resume_smoke(journal: str | None = None) -> int:
+    """Kill a journaled live service mid-flight, resume it, assert contracts.
+
+    Phase 1 starts a journaled service over real sockets, submits a few
+    queries, checkpoints over HTTP, submits one more — then **hard-kills**
+    the scheduling loop (task cancellation: no drain, no close, exactly a
+    ``kill -9`` as far as the journal is concerned).  Phase 2 builds a
+    fresh service with ``resume=True`` from the same journal, serves more
+    traffic, drains, and asserts the durability contracts: phase-1
+    results survive, the merged trace is checker-clean (including the
+    ``durable.resume`` rules), and a SimClock replay of the *merged*
+    arrival log reproduces the merged decision log exactly.  Returns an
+    exit code for ``make serve-smoke-resume``.
+    """
+    perf_started = perf_counter()
+    if journal is None:
+        journal = str(Path(tempfile.mkdtemp(prefix="repro-serve-")) / "serve.journal")
+    config = ServeConfig(
+        seconds_per_minute=0.01, num_templates=6, ga_generations=5, seed=11,
+    )
+    failures = 0
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}" + (f" — {detail}" if detail else ""))
+        if not ok:
+            failures += 1
+
+    # -- phase 1: journaled service, killed without ceremony ---------------
+    service = QueryService(config, journal=journal)
+    server = HTTPServer(service, port=0)
+    await server.start()
+    host, port = server.address
+    survivors: dict[int, dict] = {}
+    try:
+        results = await asyncio.gather(*(
+            http_request(host, port, "POST", "/submit", {"template": i % 6})
+            for i in range(3)
+        ))
+        for status, body in results:
+            if status == 200 and body.get("outcome") == "completed":
+                survivors[body["qid"]] = body
+        check("phase1 submits answered", all(s == 200 for s, _ in results))
+        status, body = await http_request(host, port, "POST", "/checkpoint")
+        check("POST /checkpoint", status == 200 and body.get("ok") is True,
+              f"pops={body.get('pops')}")
+        status, body = await http_request(
+            host, port, "POST", "/submit", {"template": 3, "wait": False}
+        )
+        check("phase1 in-flight submit", status == 200 and "qid" in body)
+    finally:
+        # The kill: cancel the scheduling loop dead, close only the socket.
+        assert server._runner is not None
+        server._runner.cancel()
+        try:
+            await server._runner
+        except asyncio.CancelledError:
+            pass
+        if server._server is not None:
+            server._server.close()
+            await server._server.wait_closed()
+    killed_pops = service._pops
+
+    # -- phase 2: resume from the journal ----------------------------------
+    resumed = QueryService(
+        journal_serve_config(journal), journal=journal, resume=True,
+    )
+    check(
+        "resume recovered the kill point",
+        resumed.resumed_at_pops == killed_pops,
+        f"pops={resumed.resumed_at_pops}",
+    )
+    server2 = HTTPServer(resumed, port=0)
+    await server2.start()
+    host, port = server2.address
+    try:
+        status, body = await http_request(
+            host, port, "POST", "/submit", {"template": 4}
+        )
+        check("phase2 submit after resume", status == 200 and "outcome" in body)
+        status, body = await http_request(host, port, "POST", "/shutdown")
+        check("POST /shutdown", status == 200)
+        await server2.serve_until_shutdown()
+    except Exception as error:  # pragma: no cover - smoke diagnostics
+        check("phase2 HTTP session", False, repr(error))
+        await server2.stop()
+
+    for qid, payload in survivors.items():
+        check(
+            f"phase1 result qid={qid} survived the kill",
+            resumed.results.get(qid) == payload,
+        )
+    violations = resumed.check_trace()
+    check("merged trace checker-clean", not violations,
+          "; ".join(str(v) for v in violations[:3]))
+    replayed = resumed.replay()
+    check(
+        "SimClock replay reproduces merged decisions",
+        replayed.decisions == resumed.session.decisions,
+        f"{len(resumed.session.decisions)} decisions",
+    )
+    check(
+        "every resumed ledger entry recomputes bit-equal",
+        all(e.recompute_iv() == e.reported_iv for e in resumed.ledgers),
+        f"{len(resumed.ledgers)} entries",
+    )
+    elapsed = perf_counter() - perf_started
+    print(
+        f"serve-kill-resume: {'PASS' if failures == 0 else f'{failures} FAILURES'}"
+        f" ({elapsed:.1f}s, journal={journal})"
+    )
     return 0 if failures == 0 else 1

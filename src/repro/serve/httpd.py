@@ -198,6 +198,8 @@ class HTTPServer:
             return await self._submit(body)
         if path.startswith("/result/") and method == "GET":
             return await self._result(path[len("/result/"):])
+        if path == "/checkpoint" and method == "POST":
+            return _json_response(200, self.service.checkpoint())
         if path == "/shutdown" and method == "POST":
             self._shutdown.set()
             return _json_response(200, {"ok": True, "draining": True})

@@ -36,9 +36,22 @@ from __future__ import annotations
 
 import asyncio
 import typing
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 
-from repro.core.value import information_value
+from repro.durable.journal import JournalWriter
+from repro.durable.recovery import (
+    arrival_record,
+    decision_record,
+    header_record,
+    ledger_record,
+    pop_record,
+    reconcile,
+    recover,
+    snapshot_record,
+    stop_record,
+    window_record,
+)
 from repro.errors import WorkloadError
 from repro.experiments.fig9 import Fig9Config, build_mqo_scheduler
 from repro.mqo.ga import GAConfig
@@ -51,7 +64,7 @@ from repro.mqo.online import (
 )
 from repro.obs import events
 from repro.obs.checker import TraceChecker, Violation
-from repro.obs.ledger import IVLedgerEntry
+from repro.obs.ledger import IVLedgerEntry, completion_ledger
 from repro.obs.live import LiveRegistry
 from repro.obs.slo import SLOMonitor, default_slo_rules
 from repro.sim.clocks import WallClock
@@ -59,7 +72,12 @@ from repro.sim.trace import Tracer
 from repro.workload.generator import random_queries
 from repro.workload.query import DSSQuery, Workload
 
-__all__ = ["ServeConfig", "QueryService"]
+__all__ = [
+    "ServeConfig",
+    "QueryService",
+    "journal_serve_config",
+    "build_serve_scheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +105,69 @@ class ServeConfig:
     trace_capacity: int | None = None
     #: Attach the stock SLO rule set.
     slo: bool = True
+    #: With a journal: checkpoint every N pops (0 = explicit ``/checkpoint``
+    #: requests only; the journal alone already suffices for exact resume —
+    #: snapshots just shorten the replayed tail).
+    snapshot_every: int = 0
+    #: Journal fsync cadence (1 = every record reaches stable storage).
+    journal_fsync_every: int = 1
+
+
+def build_serve_scheduler(
+    config: ServeConfig, tracer: Tracer | None = None
+) -> tuple[OnlineMQOScheduler, list[DSSQuery]]:
+    """The service's scheduler + template catalog, from one config.
+
+    Shared by :class:`QueryService` and the ``resume-verify`` audit: any
+    consumer that must replay a serve journal bit-exactly needs *this*
+    construction (same federation seed, same GA config, same templates),
+    nothing else.
+    """
+    base, setup = build_mqo_scheduler(Fig9Config(seed=config.seed))
+    templates = random_queries(
+        setup.instance, count=config.num_templates, seed=config.seed + 1000,
+    )
+    scheduler = OnlineMQOScheduler(
+        base.catalog,
+        base.cost_provider,
+        base.default_rates,
+        ga_config=GAConfig(generations=config.ga_generations),
+        seed=base.seed,
+        max_candidates=base.max_candidates,
+        tracer=tracer,
+        config=OnlineConfig(
+            window=config.window,
+            max_pending=config.max_pending,
+            iv_floor=config.iv_floor,
+            eager_start=config.eager_start,
+        ),
+    )
+    return scheduler, templates
+
+
+def journal_serve_config(path: str | Path) -> ServeConfig:
+    """Read the :class:`ServeConfig` a journal's header was written under.
+
+    Resume *must* reconstruct the scheduler with the crashed run's exact
+    configuration — seeds, GA generations, window — or the deterministic
+    replay diverges.  The header record carries it, so ``serve --resume``
+    and ``resume-verify`` never trust the command line over the journal.
+    """
+    from repro.durable.journal import scan_journal
+
+    records, _valid, _error = scan_journal(path)
+    if not records or records[0][0].get("kind") != "header":
+        raise WorkloadError(
+            f"journal {path} has no readable header to resume from"
+        )
+    meta = records[0][0].get("meta", {})
+    config = meta.get("serve_config")
+    if not isinstance(config, dict):
+        raise WorkloadError(
+            f"journal {path} was not written by the serving layer "
+            f"(no serve_config in header)"
+        )
+    return ServeConfig(**config)
 
 
 class QueryService:
@@ -97,18 +178,27 @@ class QueryService:
     and finish with :meth:`begin_shutdown` (the run task then drains and
     returns).  All methods are event-loop-internal — no locking, exactly
     like the single-threaded sim loop this mirrors.
+
+    With ``journal`` set, every record the durable layer defines —
+    arrivals, pops, decisions, windows, ledgers — is appended (and
+    fsync'd) as the loop runs, so a killed process can be resurrected
+    with ``resume=True``: recovery replays the journal through a fresh
+    scheduler (:func:`repro.durable.recovery.recover`), rebuilds the
+    trace/results/futures bookkeeping through the recovery hooks, and
+    transplants the restored event heap under a new
+    :class:`~repro.sim.clocks.WallClock` anchored at the crashed run's
+    stream frontier — overdue events pop immediately, new submissions
+    continue the same qid sequence, and the decision log is bit-equal to
+    a run that never died.
     """
 
-    def __init__(self, config: ServeConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        journal: str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
         self.config = config or ServeConfig()
-        base, setup = build_mqo_scheduler(Fig9Config(seed=self.config.seed))
-        self.templates: list[DSSQuery] = random_queries(
-            setup.instance, count=self.config.num_templates,
-            seed=self.config.seed + 1000,
-        )
-        self._template_by_name = {
-            template.name: template for template in self.templates
-        }
         self._logical_now = 0.0
         self.tracer = Tracer(
             lambda: self._logical_now, capacity=self.config.trace_capacity
@@ -119,21 +209,12 @@ class QueryService:
             self.monitor = SLOMonitor(
                 default_slo_rules(), self.registry
             ).attach(self.tracer)
-        self.scheduler = OnlineMQOScheduler(
-            base.catalog,
-            base.cost_provider,
-            base.default_rates,
-            ga_config=GAConfig(generations=self.config.ga_generations),
-            seed=base.seed,
-            max_candidates=base.max_candidates,
-            tracer=self.tracer,
-            config=OnlineConfig(
-                window=self.config.window,
-                max_pending=self.config.max_pending,
-                iv_floor=self.config.iv_floor,
-                eager_start=self.config.eager_start,
-            ),
+        self.scheduler, self.templates = build_serve_scheduler(
+            self.config, tracer=self.tracer
         )
+        self._template_by_name = {
+            template.name: template for template in self.templates
+        }
         self.workload = Workload()
         self.clock = WallClock(
             seconds_per_minute=self.config.seconds_per_minute
@@ -148,9 +229,29 @@ class QueryService:
         self._stop_pops: int | None = None
         self.arrival_log: list[ArrivalRecord] = []
         self.results: dict[int, dict] = {}
+        self.ledgers: list[IVLedgerEntry] = []
         self._decision_futures: dict[int, asyncio.Future] = {}
         self._result_futures: dict[int, asyncio.Future] = {}
         self._finished = asyncio.Event()
+        self._journal: JournalWriter | None = None
+        self._journal_path = Path(journal) if journal is not None else None
+        self._journal_decisions = 0
+        self._journal_windows = 0
+        self.resumed_at_pops: int | None = None
+        if self._journal_path is not None:
+            if resume and self._journal_path.exists():
+                self._resume_from_journal()
+            else:
+                self._journal = JournalWriter(
+                    self._journal_path,
+                    fsync_every=self.config.journal_fsync_every,
+                )
+                self._journal.append(header_record({
+                    "driver": "serve",
+                    "accepting": True,
+                    "arrivals_expected": 0,
+                    "serve_config": asdict(self.config),
+                }))
 
     # -- submissions ---------------------------------------------------------
 
@@ -209,6 +310,10 @@ class QueryService:
         # The heap position (pops_before) is the half of the arrival's
         # identity a timestamp can't carry — see ArrivalRecord.
         self.arrival_log.append(ArrivalRecord(qid, stamp, self._pops))
+        if self._journal is not None:
+            # Journal *before* push: once the arrival can influence a
+            # decision it must already be durable.
+            self._journal.append(arrival_record(query, stamp, self._pops))
         self.clock.push(stamp, "arrival", qid)
         return qid, decision, result
 
@@ -227,14 +332,26 @@ class QueryService:
                         continue    # when windows did their job
                 break
             now, tag, payload = item
+            if self._journal is not None:
+                self._journal.append(pop_record(now, tag, payload))
             self._pops += 1
             self._logical_now = max(self._logical_now, now)
             outcome = self.session.handle(now, tag, payload)
             if tag == "arrival":
                 self._on_arrival(typing.cast(int, payload), outcome)
             self._emit_new_starts()
+            self._journal_records()
             if tag == "completion":
                 self._on_completion(typing.cast(int, payload), now)
+            if (
+                self._journal is not None
+                and self.config.snapshot_every
+                and self._pops % self.config.snapshot_every == 0
+            ):
+                self.checkpoint()
+        self._journal_records()
+        if self._journal is not None:
+            self._journal.close()
         if self.monitor is not None:
             self.monitor.finalize(self._logical_now)
         self._finished.set()
@@ -243,12 +360,158 @@ class QueryService:
         """Stop accepting and let :meth:`run` drain and return."""
         if self._stop_pops is None:
             self._stop_pops = self._pops
+            if self._journal is not None:
+                self._journal.append(stop_record(self._pops))
         self.session.accepting = False
         self.clock.stop()
 
     async def wait_finished(self) -> None:
         """Block until :meth:`run` has fully drained."""
         await self._finished.wait()
+
+    # -- durability ----------------------------------------------------------
+
+    def _journal_records(self) -> None:
+        """Journal decision-log and window entries not yet written."""
+        if self._journal is None:
+            return
+        for entry in self.session.decisions[self._journal_decisions:]:
+            self._journal.append(decision_record(entry))
+        for record in self.session.decision.windows[self._journal_windows:]:
+            self._journal.append(window_record(record))
+        self._journal_decisions = len(self.session.decisions)
+        self._journal_windows = len(self.session.decision.windows)
+
+    def checkpoint(self) -> dict:
+        """Journal a full session snapshot; returns a small report.
+
+        The snapshot carries the serving layer's private state in the
+        record's ``extra`` — logical clock, next qid, finished results
+        and the full trace — so :meth:`_resume_from_journal` can rebuild
+        the observable service, not just the scheduler.  Raises
+        :class:`~repro.errors.WorkloadError` when journaling is off.
+        """
+        if self._journal is None or self._journal.closed:
+            raise WorkloadError(
+                "journaling is disabled or already closed; start the "
+                "service with a journal path to checkpoint"
+            )
+        self._journal_records()
+        self.tracer.emit(events.CHECKPOINT, "journal", pops=self._pops)
+        extra = {
+            "logical_now": self._logical_now,
+            "next_qid": self._next_qid,
+            "results": {
+                str(qid): payload for qid, payload in self.results.items()
+            },
+            "trace": [
+                [record.time, record.kind, record.subject, record.detail]
+                for record in self.tracer.records
+            ],
+        }
+        offset = self._journal.append(snapshot_record(
+            self.session, self.clock._timeline, self._pops,
+            self.ledgers, extra=extra,
+        ))
+        self._journal.sync()
+        return {
+            "ok": True,
+            "pops": self._pops,
+            "offset": offset,
+            "journal_bytes": self._journal.bytes_written,
+        }
+
+    def _resume_from_journal(self) -> None:
+        """Rebuild this service's exact state from its crashed journal.
+
+        Recovery replays the journal through the (identically seeded)
+        fresh scheduler; the hooks rebuild the serving bookkeeping
+        alongside: ``on_session`` redirects ``self.session``/``workload``
+        so the trace emitters observe the recovering state,
+        ``on_restore`` re-emits the checkpointed trace (alert events
+        excluded — the attached SLO monitor regenerates them from the
+        stream, which also rebuilds its open-alert state), and
+        ``on_event``/``on_pop`` mirror the live loop's per-pop
+        bookkeeping.  Afterwards the restored heap is transplanted under
+        a wall clock anchored at the crashed run's stream frontier.
+        """
+        assert self._journal_path is not None
+        recovered = recover(
+            self._journal_path,
+            self.scheduler,
+            on_session=self._adopt_session,
+            on_restore=self._restore_extra,
+            on_event=self._replay_event,
+            on_pop=self._replay_pop,
+        )
+        self.ledgers = recovered.ledgers
+        self._pops = recovered.pops
+        self.arrival_log = list(recovered.arrivals)
+        if recovered.arrivals:
+            self._next_qid = max(
+                self._next_qid,
+                max(record.query_id for record in recovered.arrivals) + 1,
+            )
+        self._decision_cursor = len(self.session.decisions)
+        # Stream time continues from the crashed run's frontier; restored
+        # events already behind ``now`` are overdue and pop in a burst.
+        self._logical_now = max(self._logical_now, recovered.timeline.now)
+        self.clock = WallClock(
+            seconds_per_minute=self.config.seconds_per_minute,
+            start_at=self._logical_now,
+            timeline=recovered.timeline,
+        )
+        self.session.clock = self.clock
+        self.session.accepting = True
+        self._stop_pops = None
+        self._journal = JournalWriter(
+            self._journal_path,
+            fsync_every=self.config.journal_fsync_every,
+            truncate_to=recovered.valid_bytes,
+        )
+        self._journal_decisions = recovered.journaled_decisions
+        self._journal_windows = recovered.journaled_windows
+        reconcile(recovered, self._journal)
+        self._journal_decisions = len(self.session.decisions)
+        self._journal_windows = len(self.session.decision.windows)
+        self.resumed_at_pops = recovered.pops
+        self.tracer.emit(events.RESUME, "journal", pops=recovered.pops)
+        self._journal.sync()
+
+    def _adopt_session(self, session: OnlineSession) -> None:
+        self.session = session
+        self.workload = session.workload
+
+    def _restore_extra(self, extra: dict, pops: int) -> None:
+        self._next_qid = int(extra.get("next_qid", self._next_qid))
+        for qid, payload in extra.get("results", {}).items():
+            self.results[int(qid)] = payload
+        for time, kind, subject, detail in extra.get("trace", []):
+            if kind in events.ALERT_KINDS:
+                continue  # the monitor regenerates alerts from the stream
+            self._logical_now = time
+            self.tracer.emit(kind, subject, **detail)
+        self._logical_now = float(extra.get("logical_now", self._logical_now))
+        self._decision_cursor = len(self.session.decisions)
+
+    def _replay_event(self, now: float, tag: str, payload: object) -> None:
+        # Mirrors the live loop's pre-handle stamp, so trace records the
+        # scheduler emits *inside* handle() carry the pop's time.
+        self._logical_now = max(self._logical_now, now)
+
+    def _replay_pop(
+        self,
+        now: float,
+        tag: str,
+        payload: object,
+        outcome: str | None,
+        entry: IVLedgerEntry | None,
+    ) -> None:
+        if tag == "arrival":
+            self._on_arrival(typing.cast(int, payload), outcome)
+        self._emit_new_starts()
+        if tag == "completion" and entry is not None:
+            self._emit_completion(typing.cast(int, payload), entry)
 
     # -- event bookkeeping ---------------------------------------------------
 
@@ -283,51 +546,45 @@ class QueryService:
 
     def _on_completion(self, qid: int, completed_at: float) -> None:
         assignment = self.session.started[qid]
-        query = assignment.query
-        rates = assignment.plan.rates
-        submitted_at = self.workload.arrival_of(qid)
-        started_at = max(assignment.begin, submitted_at)
+        query = self.workload.query(qid)
         # The event's pop time is the completion instant the service
         # observed (>= the analytic completion when dispatch ran late);
         # using it keeps COMPLETE's trace time and the ledger bit-equal.
-        cl = completed_at - submitted_at
-        sl = max(0.0, completed_at - assignment.data_timestamp)
-        iv = information_value(query.business_value, cl, sl, rates)
-        entry = IVLedgerEntry(
-            query=query.name,
-            query_id=qid,
-            business_value=query.business_value,
-            lambda_cl=rates.computational,
-            lambda_sl=rates.synchronization,
-            submitted_at=submitted_at,
-            started_at=started_at,
-            remote_done_at=started_at,
-            local_granted_at=started_at,
-            local_done_at=completed_at,
+        # The shared constructor is the exact one recovery replays
+        # through, so a resumed service's ledger matches bit-for-bit.
+        entry = completion_ledger(
+            query.name,
+            qid,
+            query.business_value,
+            assignment.plan.rates,
+            submitted_at=self.workload.arrival_of(qid),
+            begin=assignment.begin,
             completed_at=completed_at,
             data_timestamp=assignment.data_timestamp,
-            queue_wait=0.0,
-            remote_wait=0.0,
-            retries=0,
-            failovers=0,
-            degraded=False,
-            failed=False,
-            reported_iv=iv,
-            versions=(),
         )
+        self.ledgers.append(entry)
+        if self._journal is not None:
+            self._journal.append(ledger_record(entry))
+        self._emit_completion(qid, entry)
+
+    def _emit_completion(self, qid: int, entry: IVLedgerEntry) -> None:
+        """Trace + results bookkeeping for one completion (live or replayed)."""
+        cl = entry.completed_at - entry.submitted_at
+        sl = max(0.0, entry.completed_at - entry.data_timestamp)
         self.tracer.emit(
-            events.COMPLETE, query.name, qid=qid, iv=iv, cl=cl, sl=sl
+            events.COMPLETE, entry.query,
+            qid=qid, iv=entry.reported_iv, cl=cl, sl=sl,
         )
-        self.tracer.emit(events.LEDGER, query.name, **entry.to_dict())
+        self.tracer.emit(events.LEDGER, entry.query, **entry.to_dict())
         self._finish(qid, {
             "qid": qid,
-            "query": query.name,
+            "query": entry.query,
             "outcome": "completed",
-            "iv": iv,
+            "iv": entry.reported_iv,
             "cl": cl,
             "sl": sl,
-            "submitted_at": submitted_at,
-            "completed_at": completed_at,
+            "submitted_at": entry.submitted_at,
+            "completed_at": entry.completed_at,
             "ledger": entry.to_dict(),
         })
 

@@ -126,20 +126,32 @@ class WallClock:
 
     __slots__ = ("_timeline", "seconds_per_minute", "_epoch", "_wake", "_stopped")
 
-    def __init__(self, seconds_per_minute: float = 1.0) -> None:
+    def __init__(
+        self,
+        seconds_per_minute: float = 1.0,
+        start_at: float = 0.0,
+        timeline: Timeline | None = None,
+    ) -> None:
         if seconds_per_minute <= 0:
             raise SimulationError(
                 f"seconds_per_minute must be > 0, got {seconds_per_minute}"
             )
-        self._timeline = Timeline()
+        if start_at < 0:
+            raise SimulationError(f"start_at must be >= 0, got {start_at}")
+        self._timeline = timeline if timeline is not None else Timeline()
         self.seconds_per_minute = seconds_per_minute
-        self._epoch = monotonic()
+        # ``start_at`` re-anchors stream time: a resumed service's clock
+        # must continue from the crashed run's frontier, not restart at
+        # zero (events restored behind ``now`` would be scheduled in the
+        # past and pop in a burst, which is exactly what we want — the
+        # backlog is overdue).
+        self._epoch = monotonic() - start_at * seconds_per_minute
         self._wake = asyncio.Event()
         self._stopped = False
 
     @property
     def now(self) -> float:
-        """Stream minutes elapsed since the clock was created."""
+        """Stream minutes elapsed since the clock's epoch."""
         return (monotonic() - self._epoch) / self.seconds_per_minute
 
     def push(self, time: float, tag: str, payload: Any = None) -> None:

@@ -82,6 +82,29 @@ class Timeline:
         """Time of the earliest pending event (raises IndexError if empty)."""
         return self._heap[0][0]
 
+    def capture(self) -> dict:
+        """A JSON-safe snapshot of the heap, tie-break counter and frontier.
+
+        Sequence numbers are captured verbatim: same-time events must pop
+        in their *original* push order after a restore, or a resumed run
+        would diverge from the uninterrupted one on the first tie.
+        """
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "heap": [list(entry) for entry in sorted(self._heap)],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the heap exactly as :meth:`capture` saw it."""
+        self._now = state["now"]
+        self._seq = int(state["seq"])
+        self._heap = [
+            (float(time), int(seq), str(tag), payload)
+            for time, seq, tag, payload in state["heap"]
+        ]
+        heapq.heapify(self._heap)
+
     def __len__(self) -> int:
         return len(self._heap)
 

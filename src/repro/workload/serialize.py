@@ -45,7 +45,15 @@ def query_to_dict(query: DSSQuery) -> dict:
         }
     if query.base_work is not None:
         payload["base_work"] = query.base_work
-    if query.logical is not None and query.name in TPCH_FOOTPRINTS:
+    if query.logical is not None:
+        if query.name not in TPCH_FOOTPRINTS:
+            # Engine plans have no structural serialization; dropping the
+            # logical silently would make load_workload return a query
+            # that costs differently than the one saved.
+            raise WorkloadError(
+                f"query {query.name!r} carries a logical plan that is not "
+                f"a TPC-H reference and cannot be serialized"
+            )
         payload["logical_ref"] = f"tpch:{query.name}"
     return payload
 

@@ -1,0 +1,281 @@
+"""Crash/resume equivalence: the durable layer's headline contract.
+
+A journaled run killed at an arbitrary byte offset and resumed from disk
+must finish with a decision log and IV ledger **bit-equal** to a run that
+was never interrupted.  These tests drive the harness across crash
+points, with and without snapshots, audit journals through both recovery
+paths, and pin the committed golden journal fixture so schema drift is a
+visible diff.
+
+To regenerate the golden fixture after an *intentional* schema change
+(bump ``SCHEMA_VERSION`` first)::
+
+    PYTHONPATH=src python - <<'EOF'
+    from tests.test_durable_resume import golden_scheduler, golden_workload
+    from repro.durable import journaled_run
+    journaled_run(golden_scheduler(), golden_workload(),
+                  'tests/golden/durable.journal', snapshot_every=4)
+    EOF
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.value import DiscountRates
+from repro.durable import (
+    SCHEMA_VERSION,
+    crash_and_resume,
+    journaled_run,
+    read_journal,
+    recover,
+    runs_equivalent,
+    verify_journal,
+)
+from repro.durable.journal import JournalWriter, encode_record
+from repro.errors import DurabilityError
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.mqo.ga import GAConfig
+from repro.mqo.online import OnlineConfig, OnlineMQOScheduler
+from repro.workload.query import DSSQuery, Workload
+
+from tests.test_mqo_scheduling import build_catalog
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "durable.journal"
+
+
+def golden_scheduler(generations: int = 4, seed: int = 7) -> OnlineMQOScheduler:
+    """A fresh, deterministically-configured scheduler (one per recovery)."""
+    catalog = build_catalog()
+    return OnlineMQOScheduler(
+        catalog,
+        CostModel(catalog, params=CostParameters()),
+        DiscountRates.symmetric(0.1),
+        ga_config=GAConfig(generations=generations),
+        seed=seed,
+        config=OnlineConfig(window=1.0, max_pending=3, iv_floor=0.0),
+    )
+
+
+def golden_workload(count: int = 5) -> Workload:
+    """Serializable (base-work) queries arriving in a tight burst."""
+    workload = Workload()
+    for index in range(count):
+        tables = tuple(f"t{(index + j) % 6}" for j in range(3))
+        workload.add(
+            DSSQuery(
+                query_id=index + 1, name=f"q{index + 1}", tables=tables,
+                base_work=8_000.0, business_value=1.0 + 0.5 * index,
+            ),
+            arrival=1.0 + 0.4 * index,
+        )
+    return workload
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted journaled run, shared across the module."""
+    path = tmp_path_factory.mktemp("durable") / "reference.journal"
+    run = journaled_run(golden_scheduler(), golden_workload(), path)
+    return run, path
+
+
+class TestJournaledRun:
+    def test_reference_journal_is_clean_and_verifiable(self, reference):
+        run, path = reference
+        records = read_journal(path)
+        kinds = [payload["kind"] for payload, _ in records]
+        assert kinds[0] == "header"
+        assert records[0][0]["schema"] == SCHEMA_VERSION
+        assert kinds.count("arrival") == 5
+        assert kinds.count("pop") == run.pops
+        assert kinds.count("ledger") == len(run.ledgers)
+        report = verify_journal(path, golden_scheduler)
+        assert report["ok"], report["mismatches"]
+
+    def test_recovery_of_a_complete_journal_matches_the_run(self, reference):
+        run, path = reference
+        recovered = recover(path, golden_scheduler())
+        assert recovered.session.decisions == run.session.decisions
+        assert [e.to_dict() for e in recovered.ledgers] == [
+            e.to_dict() for e in run.ledgers
+        ]
+        assert not recovered.clock  # nothing left to pop
+
+    def test_every_ledger_entry_recomputes_bit_equal(self, reference):
+        run, _ = reference
+        assert run.ledgers
+        for entry in run.ledgers:
+            assert entry.recompute_iv() == entry.reported_iv
+
+
+class TestCrashAndResume:
+    @pytest.mark.parametrize("fraction", [0.15, 0.4, 0.65, 0.9, 0.99])
+    @pytest.mark.parametrize("snapshot_every", [0, 3])
+    def test_kill_at_byte_offset_resumes_bit_equal(
+        self, reference, tmp_path, fraction, snapshot_every
+    ):
+        run, path = reference
+        size = path.stat().st_size
+        resumed = crash_and_resume(
+            golden_scheduler,
+            golden_workload(),
+            tmp_path / "crash.journal",
+            crash_after_bytes=int(size * fraction),
+            snapshot_every=snapshot_every,
+        )
+        report = runs_equivalent(run, resumed)
+        assert report["equal"], report["differences"]
+        assert resumed.resumed_at_pops is not None
+
+    def test_crash_beyond_the_journal_runs_uninterrupted(
+        self, reference, tmp_path
+    ):
+        run, path = reference
+        resumed = crash_and_resume(
+            golden_scheduler,
+            golden_workload(),
+            tmp_path / "crash.journal",
+            crash_after_bytes=path.stat().st_size * 3,
+        )
+        assert resumed.resumed_at_pops is None
+        assert runs_equivalent(run, resumed)["equal"]
+
+    def test_resumed_journal_is_itself_verifiable(self, reference, tmp_path):
+        # Crash-during-resume composes by induction: the continuation
+        # journals too, so the merged journal must audit clean.
+        run, path = reference
+        crash_path = tmp_path / "crash.journal"
+        crash_and_resume(
+            golden_scheduler, golden_workload(), crash_path,
+            crash_after_bytes=path.stat().st_size // 2,
+            snapshot_every=3,
+        )
+        report = verify_journal(crash_path, golden_scheduler)
+        assert report["ok"], report["mismatches"]
+
+    def test_double_crash_still_converges(self, reference, tmp_path):
+        run, path = reference
+        crash_path = tmp_path / "crash.journal"
+        size = path.stat().st_size
+        # First crash + journaled resume...
+        first = crash_and_resume(
+            golden_scheduler, golden_workload(), crash_path,
+            crash_after_bytes=size // 3,
+        )
+        # ...then tear the *resumed* journal and recover again.
+        data = crash_path.read_bytes()
+        crash_path.write_bytes(data[: len(data) - 7])
+        recovered = recover(crash_path, golden_scheduler())
+        writer = JournalWriter(crash_path, truncate_to=recovered.valid_bytes)
+        from repro.durable import resume_run
+
+        second = resume_run(recovered, writer)
+        assert runs_equivalent(run, second)["equal"]
+
+
+class TestRecoveryAudit:
+    def test_tampered_decision_record_is_rejected_at_its_offset(
+        self, reference, tmp_path
+    ):
+        _, path = reference
+        records = read_journal(path)
+        forged = tmp_path / "forged.journal"
+        with open(forged, "wb") as handle:
+            tampered_offset = None
+            for payload, _ in records:
+                if payload["kind"] == "decision" and tampered_offset is None:
+                    payload = {
+                        "kind": "decision",
+                        "entry": ["shed", 999, 0.0],
+                    }
+                    tampered_offset = handle.tell()
+                handle.write(encode_record(payload))
+        assert tampered_offset is not None
+        with pytest.raises(DurabilityError) as error:
+            recover(forged, golden_scheduler())
+        assert error.value.offset == tampered_offset
+
+    def test_wrong_scheduler_config_cannot_silently_recover(
+        self, reference
+    ):
+        # A scheduler with a different admission policy diverges from the
+        # journal; the per-record audit must catch it (naming the record's
+        # offset) rather than resume into a state the crashed run never
+        # had.
+        _, path = reference
+        catalog = build_catalog()
+        misconfigured = OnlineMQOScheduler(
+            catalog,
+            CostModel(catalog, params=CostParameters()),
+            DiscountRates.symmetric(0.1),
+            ga_config=GAConfig(generations=4),
+            seed=7,
+            config=OnlineConfig(window=1.0, max_pending=1, iv_floor=0.0),
+        )
+        with pytest.raises(DurabilityError) as error:
+            recover(path, misconfigured)
+        assert error.value.offset is not None
+
+    def test_journal_without_header_is_rejected(self, tmp_path):
+        path = tmp_path / "headless.journal"
+        with open(path, "wb") as handle:
+            handle.write(encode_record({"kind": "pop", "time": 0.0,
+                                        "tag": "arrival", "payload": 1}))
+        with pytest.raises(DurabilityError):
+            recover(path, golden_scheduler())
+
+    def test_unsupported_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "future.journal"
+        with open(path, "wb") as handle:
+            handle.write(encode_record(
+                {"kind": "header", "schema": SCHEMA_VERSION + 1, "meta": {}}
+            ))
+        with pytest.raises(DurabilityError) as error:
+            recover(path, golden_scheduler())
+        assert "schema" in str(error.value)
+
+
+class TestGoldenJournal:
+    """The committed fixture pins schema v1's on-disk shape.
+
+    Byte-exact comparison is impossible — window records and snapshots
+    carry wall-clock ``reopt_seconds`` — so the pin is structural: the
+    record-kind sequence, the full decision log and every ledger entry
+    must recover exactly, through both recovery paths.
+    """
+
+    def test_golden_journal_parses_and_pins_the_schema(self):
+        records = read_journal(GOLDEN)
+        assert records[0][0]["kind"] == "header"
+        assert records[0][0]["schema"] == SCHEMA_VERSION == 1
+        kinds = {payload["kind"] for payload, _ in records}
+        assert kinds == {
+            "header", "arrival", "pop", "decision", "window", "ledger",
+            "snapshot",
+        }
+
+    def test_golden_journal_recovers_and_verifies(self):
+        report = verify_journal(GOLDEN, golden_scheduler)
+        assert report["ok"], report["mismatches"]
+        assert report["arrivals"] == 5
+        assert report["snapshot_pops"] > 0
+        assert report["tail_error"] is None
+
+    def test_golden_journal_reproduces_todays_run(self):
+        # The scheduler of record, run today, must still make the exact
+        # decisions the fixture froze — GA determinism across versions.
+        recovered = recover(GOLDEN, golden_scheduler())
+        fresh = journaled_run(
+            golden_scheduler(), golden_workload(),
+            GOLDEN.parent / "_scratch.journal",
+        )
+        try:
+            assert recovered.session.decisions == fresh.session.decisions
+            assert [e.to_dict() for e in recovered.ledgers] == [
+                e.to_dict() for e in fresh.ledgers
+            ]
+        finally:
+            (GOLDEN.parent / "_scratch.journal").unlink()

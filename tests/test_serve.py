@@ -173,6 +173,107 @@ class TestShutdownContracts:
         assert service.monitor.open_alerts == []
 
 
+class TestDurabilityOverHTTP:
+    async def _with_journaled_server(self, journal, body):
+        service = QueryService(config(), journal=journal)
+        server = HTTPServer(service, port=0)
+        await server.start()
+        try:
+            host, port = server.address
+            await body(service, host, port)
+        finally:
+            await server.stop()
+        return service
+
+    def test_checkpoint_endpoint_snapshots_the_journal(self, tmp_path):
+        from repro.durable import read_journal
+
+        journal = tmp_path / "serve.journal"
+
+        async def body(service, host, port):
+            await http_request(host, port, "POST", "/submit", {"template": 0})
+            status, payload = await http_request(
+                host, port, "POST", "/checkpoint"
+            )
+            assert status == 200
+            assert payload["ok"] is True
+            assert payload["pops"] > 0
+            assert payload["journal_bytes"] >= payload["offset"]
+
+        asyncio.run(self._with_journaled_server(journal, body))
+        kinds = [p["kind"] for p, _ in read_journal(journal)]
+        assert kinds[0] == "header"
+        assert "snapshot" in kinds
+        assert kinds.count("stop") == 1
+
+    def test_checkpoint_without_a_journal_is_a_400(self):
+        async def body(service, host, port):
+            status, payload = await http_request(
+                host, port, "POST", "/checkpoint"
+            )
+            assert status == 400
+            assert "journal" in payload["error"]
+
+        asyncio.run(_with_server(config(), body))
+
+    def test_shutdown_with_in_flight_submit_journals_then_resolves(
+        self, tmp_path
+    ):
+        # A submission accepted before the drain began must resolve its
+        # futures *and* leave a durable arrival record — never be dropped
+        # on the floor because shutdown raced it.
+        from repro.durable import read_journal
+
+        journal = tmp_path / "serve.journal"
+
+        async def body(service, host, port):
+            task = asyncio.create_task(http_request(
+                host, port, "POST", "/submit", {"template": 0}
+            ))
+            while not service.arrival_log:  # accepted + journaled
+                await asyncio.sleep(0.001)
+            service.begin_shutdown()
+            status, payload = await task
+            assert status == 200
+            assert "outcome" in payload or "qid" in payload
+
+        service = asyncio.run(self._with_journaled_server(journal, body))
+        assert service.check_trace() == []
+        records = [p for p, _ in read_journal(journal)]
+        kinds = [p["kind"] for p in records]
+        assert kinds.count("arrival") == 1
+        # begin_shutdown ran twice (test + server.stop); the stop record
+        # must still be journaled exactly once.
+        assert kinds.count("stop") == 1
+
+
+class TestShutdownEdges:
+    def test_wallclock_stop_is_idempotent(self):
+        from repro.sim.clocks import WallClock
+
+        async def body():
+            clock = WallClock(seconds_per_minute=0.01)
+            clock.push(0.0, "tick", 1)
+            clock.stop()
+            clock.stop()  # second stop: no error, still draining
+            assert await clock.wait_pop() == (0.0, "tick", 1)
+            assert await clock.wait_pop() is None
+            clock.stop()  # stop after drain is also safe
+            assert await clock.wait_pop() is None
+
+        asyncio.run(body())
+
+    def test_begin_shutdown_is_idempotent_on_the_service(self):
+        async def body(service, host, port):
+            service.begin_shutdown()
+            first = service._stop_pops
+            service.begin_shutdown()
+            assert service._stop_pops == first
+            assert not service.accepting
+
+        asyncio.run(_with_server(config(), body))
+
+
 class TestServeBenchHarness:
     def test_percentile_nearest_rank(self):
         values = [10.0, 20.0, 30.0, 40.0]

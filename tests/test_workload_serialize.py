@@ -71,6 +71,44 @@ class TestQueryRoundTrip:
         with pytest.raises(WorkloadError):
             query_from_dict({"name": "incomplete"})
 
+    def test_every_field_round_trips_at_once(self):
+        """A query with *every* serializable field populated survives a
+        full JSON text round-trip with nothing dropped or approximated.
+
+        This is the exact path journal arrival records take, so any field
+        this loses would silently corrupt crash recovery.
+        """
+        import dataclasses
+
+        original = dataclasses.replace(
+            tpch_query("Q3", query_id=42),
+            business_value=1.0 / 3.0,
+            rates=DiscountRates(0.1 + 0.2, 0.07),
+            base_work=9_876.5,
+        )
+        payload = json.loads(json.dumps(query_to_dict(original)))
+        rebuilt = query_from_dict(payload)
+        assert rebuilt.query_id == 42
+        assert rebuilt.name == "Q3"
+        assert rebuilt.tables == original.tables
+        assert rebuilt.business_value == 1.0 / 3.0  # bit-equal float
+        assert rebuilt.rates == DiscountRates(0.1 + 0.2, 0.07)
+        assert rebuilt.base_work == 9_876.5
+        assert rebuilt.logical is not None
+        assert rebuilt.logical.table_names == original.logical.table_names
+
+    def test_non_tpch_logical_cannot_serialize(self):
+        # An engine-built logical has no structural serialization; saving
+        # must refuse loudly rather than produce a query that costs
+        # differently on load.
+        import dataclasses
+
+        disguised = dataclasses.replace(
+            tpch_query("Q3", query_id=9), name="not-a-tpch-name"
+        )
+        with pytest.raises(WorkloadError):
+            query_to_dict(disguised)
+
 
 class TestWorkloadRoundTrip:
     def test_dict_round_trip_preserves_arrivals(self):
