@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-online test-live test-serve test-durable serve-smoke serve-smoke-resume trace-check lint ci bench bench-mqo bench-faults bench-online bench-serve bench-gate experiments check examples all
+.PHONY: install test test-fast test-faults test-online test-live test-serve test-durable test-scale serve-smoke serve-smoke-resume trace-check lint ci bench bench-mqo bench-faults bench-online bench-serve bench-scale bench-gate experiments check examples all
 
 install:
 	pip install -e .
@@ -35,6 +35,11 @@ test-serve:
 test-durable:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_durable_journal.py tests/test_durable_resume.py tests/test_durable_properties.py -q
 
+# The scale arc: vectorized batch evaluation, incremental conflict
+# groups, and the EXT5 sharded sweep (long configs stay behind `slow`).
+test-scale:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_mqo_vector.py tests/test_mqo_conflict_incremental.py tests/test_mqo_scale.py -q -m "not slow"
+
 # End-to-end HTTP pass over every route; asserts checker-clean trace and
 # SimClock replay equivalence.
 serve-smoke:
@@ -66,11 +71,13 @@ ci: lint
 	$(MAKE) test-live
 	$(MAKE) test-serve
 	$(MAKE) test-durable
+	$(MAKE) test-scale
 	$(MAKE) trace-check
 	$(MAKE) serve-smoke
 	$(MAKE) serve-smoke-resume
 	$(MAKE) bench-online
 	$(MAKE) bench-serve
+	$(MAKE) bench-scale
 	$(MAKE) bench-gate
 
 bench:
@@ -88,6 +95,11 @@ bench-online:
 
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/serve_snapshot.py BENCH_serve.json
+
+# The EXT5 sharded scale sweep (10^5-query steady stream + burst +
+# pressure); writes the throughput-ratchet baseline for bench-gate.
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/scale_snapshot.py BENCH_scale.json
 
 # Re-run every committed benchmark snapshot and fail on wall-clock or IV
 # regressions; the slowdown multiple comes from BENCH_GATE_TOLERANCE

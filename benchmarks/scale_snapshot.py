@@ -1,0 +1,38 @@
+"""Write ``BENCH_scale.json`` — the EXT5 sharded scale-sweep snapshot.
+
+Runs the committed scale sweep (``repro.experiments.scale``): a
+10^5-query steady Poisson stream plus burst and pressure schedules,
+sharded by conflict group across spawned worker processes, recording
+queries/sec, group-formation throughput, p50/p95/p99 window re-opt
+latency and peak worker RSS.  Invoked by ``make bench-scale``; the JSON
+is the throughput ratchet for ``repro bench-gate`` (``*_per_sec`` leaves
+regress when they *drop* past the tolerance).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scale_snapshot.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.scale import ScaleConfig, run_scale_sweep
+
+
+def snapshot() -> dict:
+    return run_scale_sweep(ScaleConfig())
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_scale.json")
+    data = snapshot()
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(json.dumps(data, indent=2))
+
+
+if __name__ == "__main__":
+    main()

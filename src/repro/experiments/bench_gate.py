@@ -1,8 +1,8 @@
 """Benchmark regression gate: re-run the committed snapshots and diff.
 
-The repo commits three point-in-time benchmark snapshots
-(``BENCH_mqo.json``, ``BENCH_faults.json``, ``BENCH_online.json``) written
-by the ``benchmarks/*_snapshot.py`` scripts.  ``python -m repro bench-gate``
+The repo commits point-in-time benchmark snapshots (``BENCH_mqo.json``,
+``BENCH_faults.json``, ``BENCH_online.json``, ``BENCH_serve.json``,
+``BENCH_scale.json``) written by the ``benchmarks/*_snapshot.py`` scripts.  ``python -m repro bench-gate``
 re-runs those same workloads now, compares the fresh numbers against the
 committed baselines, appends one JSONL line per snapshot to
 ``BENCH_history.jsonl`` (an append-only local record of how this machine
@@ -14,12 +14,18 @@ has been trending), and exits non-zero when anything *regressed*:
   default tolerance is generous (:data:`DEFAULT_WALL_TOLERANCE`) and
   overridable via ``--wall-tolerance`` / the ``BENCH_GATE_TOLERANCE``
   environment variable;
+* **throughput metrics** (``*_per_sec``) are wall-clock rates where
+  *higher* is better: they regress when the fresh value drops below
+  ``baseline / wall_tolerance``.  This is the scale sweep's ratchet —
+  committing a faster ``BENCH_scale.json`` raises the floor;
+* **memory metrics** (``*_rss_mb``) regress like wall time when the
+  fresh peak exceeds ``baseline x wall_tolerance``;
 * **IV metrics** (``best_fitness``, ``mean_iv``, everything under
   ``total_iv``) are produced by seeded, deterministic simulations —
   higher is better and any drop beyond a tiny relative ``iv_tolerance``
   is a correctness-grade regression, not noise.
 
-Only those two families gate; counter-style metrics (cache hits, realize
+Only those families gate; counter-style metrics (cache hits, realize
 calls, …) are recorded in the history but deliberately not compared, so
 legitimate algorithm changes don't trip the gate on bookkeeping.
 
@@ -66,6 +72,7 @@ SNAPSHOTS = {
     "faults": ("BENCH_faults.json", "benchmarks/faults_snapshot.py"),
     "online": ("BENCH_online.json", "benchmarks/online_snapshot.py"),
     "serve": ("BENCH_serve.json", "benchmarks/serve_snapshot.py"),
+    "scale": ("BENCH_scale.json", "benchmarks/scale_snapshot.py"),
 }
 
 
@@ -75,12 +82,12 @@ class Regression:
 
     snapshot: str
     metric: str       #: dotted path into the snapshot JSON
-    kind: str         #: "wall" or "iv"
+    kind: str         #: "wall", "throughput", "mem" or "iv"
     baseline: float
     current: float
 
     def __str__(self) -> str:
-        direction = "slower" if self.kind == "wall" else "lower"
+        direction = {"wall": "slower", "mem": "larger"}.get(self.kind, "lower")
         return (
             f"[{self.snapshot}] {self.metric}: {self.current:g} vs "
             f"baseline {self.baseline:g} ({direction})"
@@ -129,6 +136,10 @@ def classify(path: str) -> str | None:
     leaf = path.rsplit(".", 1)[-1]
     if "wall_seconds" in leaf or leaf == "reopt_seconds" or leaf.endswith("_ms"):
         return "wall"
+    if leaf.endswith("_per_sec"):
+        return "throughput"
+    if leaf.endswith("_rss_mb"):
+        return "mem"
     if leaf in ("best_fitness", "mean_iv") or "total_iv." in path:
         return "iv"
     return None
@@ -166,11 +177,13 @@ def compare(
 ) -> list[Regression]:
     """Diff two snapshots; every gated metric that got worse is returned.
 
-    Wall metrics regress when ``current > baseline * wall_tolerance``;
-    IV metrics when ``current < baseline * (1 - iv_tolerance)`` (higher
-    is always better for the gated IV family).  Metrics present on only
-    one side are not value-compared — :func:`key_mismatch` reports them
-    and :attr:`GateResult.passed` fails on any drift.
+    Wall and memory metrics regress when ``current > baseline *
+    wall_tolerance``; throughput metrics (rates, higher is better) when
+    ``current < baseline / wall_tolerance``; IV metrics when ``current <
+    baseline * (1 - iv_tolerance)`` (higher is always better for the
+    gated IV family).  Metrics present on only one side are not
+    value-compared — :func:`key_mismatch` reports them and
+    :attr:`GateResult.passed` fails on any drift.
     """
     if wall_tolerance < 1.0:
         raise ConfigError(
@@ -190,10 +203,15 @@ def compare(
             continue
         base_value = base_flat[path]
         current_value = current_flat[path]
-        if kind == "wall":
+        if kind in ("wall", "mem"):
             if current_value > base_value * wall_tolerance:
                 regressions.append(Regression(
-                    name, path, "wall", base_value, current_value
+                    name, path, kind, base_value, current_value
+                ))
+        elif kind == "throughput":
+            if current_value < base_value / wall_tolerance:
+                regressions.append(Regression(
+                    name, path, "throughput", base_value, current_value
                 ))
         elif current_value < base_value * (1.0 - iv_tolerance):
             regressions.append(Regression(

@@ -29,6 +29,7 @@ from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9a, run_fig9b
 from repro.experiments.load import run_load_sweep
+from repro.experiments.scale import run_scale
 from repro.experiments.sensitivity import run_sensitivity
 from repro.experiments.stream_mqo import run_stream_mqo
 from repro.reporting.charts import grouped_bar_chart
@@ -73,6 +74,7 @@ EXPERIMENTS: dict[str, Callable[[], list[ResultTable]]] = {
     "load": lambda: [run_load_sweep()],
     "faults": lambda: [run_fault_sweep()],
     "stream-mqo": lambda: [run_stream_mqo()],
+    "scale": lambda: [run_scale()],
 }
 
 #: (group_by, series, value) specs for ``--chart``, where a grouped bar

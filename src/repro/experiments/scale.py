@@ -1,0 +1,447 @@
+"""EXT5 — sharded scale sweep: six-figure query streams (extension).
+
+The paper evaluates streams of tens of queries; this extension measures
+how far the online scheduler carries to 10^5–10^6-query streams by
+exploiting the paper's own workload-formation argument (Section 3.2,
+step 1) as a *sharding* rule: queries in different conflict groups have
+non-overlapping execution ranges, so every server a group's slowest
+candidate could occupy is free again before the next group's first query
+arrives — groups are independently plannable and can run in different
+worker processes without changing any single group's decisions.
+
+The driver runs three arrival schedules per sweep:
+
+* ``steady`` — a provisioned Poisson stream (service keeps up; the queue
+  never builds), the throughput headline;
+* ``burst`` — clumped arrivals (whole bursts conflict, forming large
+  groups) optimized with a bigger GA through the numpy batch evaluator
+  (``OnlineConfig(vectorized_ga=True)``), where vectorized scoring is
+  measured faster than the scalar fast path;
+* ``pressure`` — sustained overload against a small pending bound,
+  exercising the defer/requeue admission path end to end.
+
+Each schedule's pipeline: derive every query's execution range through
+one :class:`~repro.mqo.evaluator.WorkloadEvaluator` (reported as
+``ranges_per_sec``), maintain groups with
+:class:`~repro.mqo.conflict.IncrementalConflictGroups`, bin-pack whole
+groups onto shards (:func:`shard_assignments`), then run one
+:class:`~repro.mqo.online.OnlineMQOScheduler` per shard — serially or in
+spawned worker processes (``ScaleConfig.executor``).  Workers rebuild
+their infrastructure from the (picklable) config rather than shipping
+compiled plans, and are *spawned*, not forked, so their reported peak
+RSS reflects the shard run alone and not the parent's allocation
+history.
+
+A sharded run is **not** claimed bit-equal to an unsharded one — each
+shard re-optimizes on its own window clock — so the sweep reports
+throughput, latency and conservation rather than IV equivalence: every
+query is dispatched or shed exactly once across shards, and each shard
+is individually deterministic (seeded), making the recorded totals
+reproducible run to run.  Re-opt latency percentiles are taken over
+optimization passes that actually ran the GA; passes over singleton-only
+pending sets are near-free and would drown the signal.
+
+``benchmarks/scale_snapshot.py`` commits this sweep as
+``BENCH_scale.json``, gated by ``repro bench-gate``: ``*_per_sec``
+throughput leaves may only ratchet up (within the wall tolerance),
+``*_ms``/``wall_seconds`` leaves may not blow past it, and
+``total_iv.online`` is held to the deterministic-IV family.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.core.value import DiscountRates
+from repro.errors import ConfigError
+from repro.federation.catalog import Catalog, FixedSyncSchedule, TableDef
+from repro.federation.costmodel import CostModel, CostParameters
+from repro.mqo.conflict import IncrementalConflictGroups, execution_ranges
+from repro.mqo.evaluator import WorkloadEvaluator
+from repro.mqo.ga import GAConfig
+from repro.mqo.online import OnlineConfig, OnlineMQOScheduler
+from repro.mqo.vector import HAS_NUMPY
+from repro.reporting.tables import ResultTable
+from repro.workload.arrival import poisson_arrivals
+from repro.workload.query import DSSQuery, Workload
+
+__all__ = [
+    "ScheduleSpec",
+    "ScaleConfig",
+    "DEFAULT_SCHEDULES",
+    "MILLION_SCHEDULES",
+    "build_catalog",
+    "build_stream",
+    "shard_assignments",
+    "run_schedule",
+    "run_scale_sweep",
+    "run_scale",
+]
+
+_EXECUTORS = ("serial", "process")
+_ARRIVALS = ("poisson", "burst")
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """One arrival schedule of the sweep (shape + scheduler knobs)."""
+
+    name: str
+    queries: int
+    #: "poisson" (independent interarrivals) or "burst" (clumped).
+    arrival: str = "poisson"
+    #: Mean interarrival (poisson) or gap between bursts (burst), minutes.
+    interarrival: float = 1.0
+    #: Arrivals per burst instant (``arrival="burst"`` only).
+    burst_size: int = 1
+    max_pending: int = 32
+    iv_floor: float = 0.0
+    population_size: int = 4
+    generations: int = 2
+    #: Score GA generations through the numpy batch evaluator.  Degrades
+    #: gracefully to the scalar path when numpy is absent.
+    vectorized: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queries < 1:
+            raise ConfigError(f"queries must be >= 1, got {self.queries}")
+        if self.arrival not in _ARRIVALS:
+            raise ConfigError(
+                f"arrival must be one of {_ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.interarrival <= 0:
+            raise ConfigError(
+                f"interarrival must be > 0, got {self.interarrival}"
+            )
+        if self.burst_size < 1:
+            raise ConfigError(
+                f"burst_size must be >= 1, got {self.burst_size}"
+            )
+
+
+#: The committed-benchmark sweep: a 10^5-query steady stream plus smaller
+#: burst and pressure schedules (sizes calibrated so `make bench-scale`
+#: and the bench-gate re-run stay within a CI-friendly budget).
+DEFAULT_SCHEDULES = (
+    ScheduleSpec("steady", queries=100_000, arrival="poisson",
+                 interarrival=1.0),
+    ScheduleSpec("burst", queries=4_096, arrival="burst", interarrival=25.0,
+                 burst_size=16, max_pending=64,
+                 population_size=24, generations=8, vectorized=True),
+    ScheduleSpec("pressure", queries=4_000, arrival="poisson",
+                 interarrival=0.45, max_pending=16),
+)
+
+#: The full-scale variant: the steady stream at 10^6 queries (several
+#: minutes of wall clock; run via ``ScaleConfig(schedules=...)``, never
+#: from the committed benchmark).
+MILLION_SCHEDULES = (
+    replace(DEFAULT_SCHEDULES[0], queries=1_000_000),
+) + DEFAULT_SCHEDULES[1:]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Shared infrastructure + sharding knobs of one sweep."""
+
+    tables: int = 6
+    sites: int = 3
+    row_count: int = 2_000
+    templates: int = 12
+    base_work: float = 400.0
+    work_step: float = 80.0
+    max_candidates: int = 4
+    window: float = 8.0
+    seed: int = 17
+    arrival_seed: int = 7
+    shards: int = 2
+    #: "serial" runs shards in-process; "process" spawns one worker per
+    #: shard (fresh interpreters, so per-shard peak RSS is honest).
+    executor: str = "process"
+    schedules: tuple[ScheduleSpec, ...] = DEFAULT_SCHEDULES
+
+    def __post_init__(self) -> None:
+        if self.tables < 1:
+            raise ConfigError(f"tables must be >= 1, got {self.tables}")
+        if not 1 <= self.sites <= self.tables:
+            raise ConfigError(
+                f"sites must be in [1, tables], got {self.sites}"
+            )
+        if self.templates < 1:
+            raise ConfigError(
+                f"templates must be >= 1, got {self.templates}"
+            )
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.executor not in _EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+        if not self.schedules:
+            raise ConfigError("a sweep needs at least one schedule")
+
+
+def build_catalog(config: ScaleConfig) -> Catalog:
+    """The sweep's deterministic federation: staggered sync schedules."""
+    catalog = Catalog()
+    for index in range(config.tables):
+        name = f"t{index}"
+        catalog.add_table(
+            TableDef(name, site=index % config.sites,
+                     row_count=config.row_count)
+        )
+        catalog.add_replica(
+            name,
+            FixedSyncSchedule(
+                [1.0 + index * 0.5 + k * 6.0 for k in range(10)],
+                tail_period=6.0,
+            ),
+        )
+    return catalog
+
+
+def _infrastructure(config: ScaleConfig):
+    catalog = build_catalog(config)
+    cost_model = CostModel(catalog, params=CostParameters())
+    rates = DiscountRates.symmetric(0.1)
+    return catalog, cost_model, rates
+
+
+def build_stream(config: ScaleConfig, spec: ScheduleSpec) -> Workload:
+    """The schedule's full arrival stream (template-cycled queries)."""
+    queries = []
+    for index in range(spec.queries):
+        template = index % config.templates
+        span = 1 + template % 2
+        tables = tuple(
+            f"t{(template + j) % config.tables}" for j in range(span)
+        )
+        queries.append(DSSQuery(
+            query_id=index + 1, name=f"q{index + 1}", tables=tables,
+            base_work=config.base_work + config.work_step * (template % 5),
+        ))
+    if spec.arrival == "poisson":
+        arrivals = poisson_arrivals(
+            spec.interarrival, spec.queries, seed=config.arrival_seed
+        )
+    else:
+        # Bursts of `burst_size` arrivals 0.05 min apart, every
+        # `interarrival` minutes — whole bursts conflict by construction.
+        arrivals = [
+            (index // spec.burst_size) * spec.interarrival
+            + 0.05 * (index % spec.burst_size)
+            for index in range(spec.queries)
+        ]
+    return Workload.from_queries(queries, arrivals=arrivals)
+
+
+def shard_assignments(
+    groups: list[list[int]], shards: int
+) -> list[list[int]]:
+    """Deterministic greedy bin-packing of conflict groups onto shards.
+
+    Groups arrive in sweep order; each goes whole onto the currently
+    lightest shard (ties to the lowest index), so co-contending queries
+    are always planned by the same worker and shard loads stay balanced
+    without any randomness.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    loads = [0] * shards
+    assigned: list[list[int]] = [[] for _ in range(shards)]
+    for group in groups:
+        lightest = min(range(shards), key=lambda shard: (loads[shard], shard))
+        assigned[lightest].extend(group)
+        loads[lightest] += len(group)
+    return assigned
+
+
+def _run_shard(payload) -> dict:
+    """One shard's online run (module-level: spawned workers pickle it).
+
+    Rebuilds catalog, cost model and stream from the config — cheaper and
+    start-method-agnostic versus pickling 10^5 compiled plans — then runs
+    the online scheduler over this shard's subset of the arrival stream
+    (original ids and arrival times, stream order preserved).
+    """
+    config, spec, shard_ids = payload
+    catalog, cost_model, rates = _infrastructure(config)
+    members = set(shard_ids)
+    stream = build_stream(config, spec)
+    workload = Workload()
+    for query in stream.queries:
+        if query.query_id in members:
+            workload.add(query, arrival=stream.arrival_of(query.query_id))
+    scheduler = OnlineMQOScheduler(
+        catalog, cost_model, rates,
+        ga_config=GAConfig(
+            population_size=spec.population_size,
+            generations=spec.generations,
+        ),
+        seed=config.seed,
+        max_candidates=config.max_candidates,
+        config=OnlineConfig(
+            window=config.window,
+            max_pending=spec.max_pending,
+            iv_floor=spec.iv_floor,
+            verify_groups=False,
+            vectorized_ga=spec.vectorized and HAS_NUMPY,
+        ),
+    )
+    decision = scheduler.run(workload)
+    stats = decision.stats
+    return {
+        "queries": len(shard_ids),
+        "dispatched": stats.dispatched,
+        "shed": stats.shed,
+        "deferred": stats.deferred,
+        "windows": stats.windows,
+        "ga_runs": stats.ga_runs,
+        "total_iv": decision.total_information_value,
+        "reopt_seconds": [
+            window.reopt_seconds
+            for window in decision.windows
+            if window.ga_runs > 0
+        ],
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _percentile_ms(reopts: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of re-opt times, in milliseconds."""
+    if not reopts:
+        return 0.0
+    rank = max(0, int(round(fraction * len(reopts))) - 1)
+    return reopts[rank] * 1000.0
+
+
+def run_schedule(config: ScaleConfig, spec: ScheduleSpec) -> dict:
+    """One schedule end to end: group, shard, run, aggregate."""
+    catalog, cost_model, rates = _infrastructure(config)
+    stream = build_stream(config, spec)
+
+    formation_started = time.perf_counter()
+    evaluator = WorkloadEvaluator(
+        catalog, cost_model, rates, stream,
+        max_candidates=config.max_candidates,
+    )
+    ranges = execution_ranges(evaluator)
+    tracker = IncrementalConflictGroups()
+    for rng in ranges:
+        tracker.add(rng)
+    groups = tracker.groups()
+    formation_wall = time.perf_counter() - formation_started
+
+    payloads = [
+        (config, spec, shard_ids)
+        for shard_ids in shard_assignments(groups, config.shards)
+        if shard_ids
+    ]
+    run_started = time.perf_counter()
+    if config.executor == "process":
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=len(payloads), mp_context=context
+        ) as pool:
+            shard_results = list(pool.map(_run_shard, payloads))
+    else:
+        shard_results = [_run_shard(payload) for payload in payloads]
+    run_wall = time.perf_counter() - run_started
+
+    reopts = sorted(
+        value
+        for result in shard_results
+        for value in result["reopt_seconds"]
+    )
+    dispatched = sum(result["dispatched"] for result in shard_results)
+    total_wall = formation_wall + run_wall
+    return {
+        "queries": spec.queries,
+        "shards": len(payloads),
+        "group_formation": {
+            "wall_seconds": round(formation_wall, 3),
+            "ranges_per_sec": round(len(ranges) / formation_wall, 1),
+            "groups": len(groups),
+            "largest_group": max(len(group) for group in groups),
+        },
+        "wall_seconds": round(run_wall, 3),
+        "queries_per_sec": round(dispatched / total_wall, 1),
+        "dispatched": dispatched,
+        "shed": sum(result["shed"] for result in shard_results),
+        "deferred": sum(result["deferred"] for result in shard_results),
+        "windows": sum(result["windows"] for result in shard_results),
+        "ga_runs": sum(result["ga_runs"] for result in shard_results),
+        "reopt": {
+            "p50_ms": round(_percentile_ms(reopts, 0.50), 3),
+            "p95_ms": round(_percentile_ms(reopts, 0.95), 3),
+            "p99_ms": round(_percentile_ms(reopts, 0.99), 3),
+        },
+        "total_iv": {
+            "online": sum(result["total_iv"] for result in shard_results),
+        },
+        "peak_rss_mb": round(
+            max(result["max_rss_kb"] for result in shard_results) / 1024.0, 1
+        ),
+    }
+
+
+def run_scale_sweep(config: ScaleConfig | None = None) -> dict:
+    """The full sweep as the ``BENCH_scale.json`` metrics dict."""
+    config = config or ScaleConfig()
+    schedules = {}
+    for spec in config.schedules:
+        schedules[spec.name] = run_schedule(config, spec)
+    return {
+        "config": {
+            "tables": config.tables,
+            "sites": config.sites,
+            "templates": config.templates,
+            "shards": config.shards,
+            "executor": config.executor,
+            "window": config.window,
+            "max_candidates": config.max_candidates,
+            "numpy": HAS_NUMPY,
+        },
+        "schedules": schedules,
+    }
+
+
+def run_scale(config: ScaleConfig | None = None) -> ResultTable:
+    """EXT5 as a CLI result table (``python -m repro scale``)."""
+    data = run_scale_sweep(config)
+    table = ResultTable(
+        title="EXT5: sharded scale sweep (conflict-group sharding)",
+        headers=[
+            "schedule", "queries", "shards", "qps", "ranges_per_sec",
+            "p50_ms", "p95_ms", "p99_ms", "shed", "deferred",
+            "total_iv", "rss_mb",
+        ],
+    )
+    for name, metrics in data["schedules"].items():
+        table.add(
+            name,
+            metrics["queries"],
+            metrics["shards"],
+            metrics["queries_per_sec"],
+            metrics["group_formation"]["ranges_per_sec"],
+            metrics["reopt"]["p50_ms"],
+            metrics["reopt"]["p95_ms"],
+            metrics["reopt"]["p99_ms"],
+            metrics["shed"],
+            metrics["deferred"],
+            metrics["total_iv"]["online"],
+            metrics["peak_rss_mb"],
+        )
+    table.add_footnote(
+        "qps = dispatched / (group formation + shard runs); re-opt "
+        "percentiles are over GA-bearing passes only"
+    )
+    table.add_footnote(
+        "shards are whole conflict groups (independently plannable); "
+        "per-shard runs are seeded and deterministic"
+    )
+    return table

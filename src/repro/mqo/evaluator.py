@@ -262,6 +262,7 @@ class _CompiledQuery:
     candidates: list[_CompiledPlan]
     suffix_bounds: list[float]  # suffix maxima of candidate upper bounds
     sites: tuple[int, ...]  # union of candidate sites — the choice's inputs
+    latest_completion: float  # slowest candidate's uncontended completion
 
 
 class _TrieNode:
@@ -486,9 +487,27 @@ class WorkloadEvaluator:
             candidates=candidates,
             suffix_bounds=suffix_bounds,
             sites=tuple(sorted(site_union)),
+            latest_completion=max(
+                plan.completion_time for plan in plans
+            ),
         )
         self._compiled[query_id] = compiled
         return compiled
+
+    def range_of(self, query_id: int) -> tuple[float, float]:
+        """The query's half-open execution range ``[arrival, latest)``.
+
+        ``latest`` is the completion time of the query's slowest candidate
+        plan.  Candidate plan sets are immutable per query, and neither
+        endpoint reads committed server state, so the range is computed
+        once per query and cached for the evaluator's lifetime —
+        :meth:`rebase` deliberately does *not* invalidate it (regression
+        ``tests/test_mqo_online.py::TestRangeCache``).  Before this cache
+        the online scheduler re-derived every pending query's candidates
+        on every window pass.
+        """
+        compiled = self._compiled_query(query_id)
+        return compiled.arrival, compiled.latest_completion
 
     def upper_bound(self, query_id: int) -> float:
         """Largest IV any candidate of this query can ever realize.
@@ -512,8 +531,16 @@ class WorkloadEvaluator:
         The prefix trie is rebuilt (its cached prefixes assumed the old
         base); the choice memo survives because it is keyed on the exact
         site clocks it was computed under.
+
+        Rebasing onto the base already in force is a no-op: cached
+        prefixes are a pure function of the base, the immutable candidate
+        sets and the sync timelines, so they stay exact — clearing them
+        would only cost the next pass its warm trie (regression
+        ``tests/test_mqo_online.py::TestHotPathFixes``).
         """
         with self._lock:
+            if free_at == self._base_free_at:
+                return
             self._base_free_at = dict(free_at)
             self._trie = _TrieNode(dict(free_at), None, 0.0)
             self.stats.trie_entries = 0
@@ -634,6 +661,56 @@ class WorkloadEvaluator:
             data_timestamp=best_stamp,
         )
         return assignment, best_iv, best
+
+    def choose_best(
+        self, query_id: int, free_at: dict[int, float]
+    ) -> Assignment:
+        """IV-best assignment for one query under ``free_at``.
+
+        The single-query building block of :meth:`evaluate_sequence`,
+        exposed for the online dispatcher: compiled-candidate arithmetic
+        with upper-bound pruning, served from the choice memo when the
+        query's site clocks match an earlier decision.  Bit-identical to
+        realizing every candidate with :meth:`_realize` and keeping the
+        first strict IV maximum — the naive loop the dispatcher ran per
+        event before this path (``tests/test_mqo_online.py::
+        TestHotPathFixes``).  ``free_at`` is read, never written; it is
+        the caller's job to :meth:`_commit` the returned assignment.
+        """
+        with self._lock:
+            compiled = self._compiled_query(query_id)
+            self.stats.naive_realize_calls += len(compiled.candidates)
+            if not self.fast_path:
+                arrival = compiled.arrival
+                best: Assignment | None = None
+                for candidate in compiled.candidates:
+                    assignment = self._realize(
+                        candidate.plan, arrival, free_at
+                    )
+                    if best is None or (
+                        assignment.information_value
+                        > best.information_value
+                    ):
+                        best = assignment
+                assert best is not None  # candidates never empty
+                return best
+            free_get = free_at.get
+            key = (
+                query_id,
+                *(free_get(site, 0.0) for site in compiled.sites),
+            )
+            memo = self._choices.get(key)
+            if memo is not None:
+                self.stats.choice_hits += 1
+                return memo[0]
+            assignment, best_iv, chosen = self._choose_fast(
+                compiled, free_at
+            )
+            if len(self._choices) >= self.max_prefix_entries > 0:
+                self._choices.clear()
+                self.stats.choice_evictions += 1
+            self._choices[key] = (assignment, best_iv, chosen)
+            return assignment
 
     # -- prefix trie -------------------------------------------------------
 

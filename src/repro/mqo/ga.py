@@ -16,6 +16,12 @@ membership, cache updates and all counters are decided in the main thread
 in deterministic order, so :class:`GAResult` is bit-for-bit identical
 regardless of the executor — parallelism only changes *where* fitness
 calls run, never which run or how their results are applied.
+
+A ``fitness_batch`` callable (scores a whole list of chromosomes in one
+call, e.g. :meth:`repro.mqo.vector.VectorizedEvaluator.fitness_batch`)
+takes precedence over both the per-chromosome ``fitness`` and the
+executor pool wherever the GA scores anything, so every value a run sees
+comes from one consistent scorer.
 """
 
 from __future__ import annotations
@@ -38,9 +44,10 @@ from repro.sim.rng import RandomSource
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mqo.evaluator import EvaluatorStats
 
-__all__ = ["GAConfig", "GAResult", "GeneticAlgorithm"]
+__all__ = ["BatchFitness", "Fitness", "GAConfig", "GAResult", "GeneticAlgorithm"]
 
 Fitness = Callable[[list[int]], float]
+BatchFitness = Callable[[list[list[int]]], Sequence[float]]
 
 _EXECUTORS = ("serial", "thread", "process")
 
@@ -116,11 +123,16 @@ class GeneticAlgorithm:
         config: GAConfig | None = None,
         seed: int = 0,
         evaluator_stats: "EvaluatorStats | None" = None,
+        fitness_batch: BatchFitness | None = None,
     ) -> None:
         if not genes:
             raise OptimizationError("GA needs at least one gene")
         self.genes = list(genes)
         self.fitness = fitness
+        #: Whole-batch scorer; when set it handles every scoring the run
+        #: performs (cache misses included), bypassing ``fitness`` and the
+        #: executor pool, so values are consistent across paths.
+        self.fitness_batch = fitness_batch
         self.config = config or GAConfig()
         self.rng = RandomSource(seed, "ga")
         self.evaluator_stats = evaluator_stats
@@ -135,7 +147,10 @@ class GeneticAlgorithm:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        value = self.fitness(chromosome)
+        if self.fitness_batch is not None:
+            value = float(self.fitness_batch([list(chromosome)])[0])
+        else:
+            value = self.fitness(chromosome)
         self._cache[key] = value
         self._fitness_calls += 1
         return value
@@ -162,7 +177,9 @@ class GeneticAlgorithm:
             return
         self._fitness_calls += len(pending)
         chromosomes = [list(key) for key in pending]
-        if pool is None:
+        if self.fitness_batch is not None:
+            values = [float(v) for v in self.fitness_batch(chromosomes)]
+        elif pool is None:
             values = [self.fitness(chromosome) for chromosome in chromosomes]
         else:
             values = list(pool.map(self.fitness, chromosomes))

@@ -46,13 +46,19 @@ bit-identical to :meth:`WorkloadScheduler.schedule`
 from __future__ import annotations
 
 import typing
+from collections import deque
 from dataclasses import asdict, dataclass, field
 
 from repro.core.enumeration import CostProvider
 from repro.core.value import DiscountRates
 from repro.errors import OptimizationError
 from repro.federation.catalog import Catalog
-from repro.mqo.conflict import conflict_groups, execution_ranges
+from repro.mqo.conflict import (
+    ExecutionRange,
+    IncrementalConflictGroups,
+    conflict_groups,
+    execution_ranges,
+)
 from repro.mqo.evaluator import (
     Assignment,
     EvaluationResult,
@@ -102,6 +108,26 @@ class OnlineConfig:
     #: than waiting for the window to close (cuts idle latency; turn off
     #: for bit-exact batch equivalence).
     eager_start: bool = True
+    #: Maintain conflict groups incrementally across windows (admit and
+    #: retire one execution range at a time) instead of re-running the
+    #: sweep line over every pending query each pass.  Produces the exact
+    #: sweep-line groups either way; this only changes the cost of
+    #: producing them.
+    incremental_groups: bool = True
+    #: Cross-check the incremental groups against a from-scratch sweep on
+    #: every pass.  Active only under ``__debug__`` (stripped by
+    #: ``python -O``); the scale sweep also turns it off explicitly since
+    #: the check is itself the full recompute being avoided.
+    verify_groups: bool = True
+    #: Score GA generations through the numpy batch evaluator
+    #: (:class:`repro.mqo.vector.VectorizedEvaluator`) instead of the
+    #: scalar per-chromosome fast path.  Off by default: batch totals
+    #: match the scalar path only within ``vector.REL_TOLERANCE`` (last-
+    #: ulp ``pow`` differences can flip a near-tie), so every committed
+    #: golden stays on the scalar path; the EXT5 scale sweep opts in.
+    #: Requires numpy — raises :class:`OptimizationError` at the first
+    #: optimization pass otherwise.
+    vectorized_ga: bool = False
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -251,9 +277,12 @@ class OnlineSession:
             result=EvaluationResult(), stats=self.stats,
             evaluator_stats=self.evaluator.stats,
         )
-        self.queue: list[int] = []      # admitted, awaiting optimization
-        self.plan: list[int] = []       # optimized dispatch order
-        self.deferred: list[int] = []   # queue-overflow parking lot
+        self.queue: list[int] = []         # admitted, awaiting optimization
+        self.plan: deque[int] = deque()    # optimized dispatch order
+        self.deferred: deque[int] = deque()  # queue-overflow parking lot
+        #: Execution ranges of every pending (admitted, not yet started)
+        #: query, grouped incrementally — the per-window sweep replacement.
+        self.group_index = IncrementalConflictGroups()
         self.running: set[int] = set()
         self.free_at: dict[int, float] = {}
         self.incumbent: list[int] = []  # previous pass's order (warm start)
@@ -281,10 +310,21 @@ class OnlineSession:
             tracer.emit(kind, subject, **details)
 
     def _pending_ids(self) -> list[int]:
-        return self.plan + self.queue
+        return [*self.plan, *self.queue]
 
     def _admit_room(self) -> bool:
         return len(self.plan) + len(self.queue) < self.config.max_pending
+
+    def _track(self, qid: int) -> None:
+        """Admit a query's execution range into the incremental index."""
+        if self.config.incremental_groups:
+            start, end = self.evaluator.range_of(qid)
+            self.group_index.add(ExecutionRange(qid, start, end))
+
+    def _untrack(self, qid: int) -> None:
+        """Retire a dispatched query's range from the incremental index."""
+        if self.config.incremental_groups:
+            self.group_index.remove(qid)
 
     def expects_more_arrivals(self) -> bool:
         """Whether the arrival stream may still produce events."""
@@ -356,8 +396,11 @@ class OnlineSession:
         the journal's arrival records before restoring).
         """
         self.queue = [int(qid) for qid in state["queue"]]
-        self.plan = [int(qid) for qid in state["plan"]]
-        self.deferred = [int(qid) for qid in state["deferred"]]
+        self.plan = deque(int(qid) for qid in state["plan"])
+        self.deferred = deque(int(qid) for qid in state["deferred"])
+        self.group_index = IncrementalConflictGroups()
+        for qid in [*self.plan, *self.queue]:
+            self._track(qid)
         self.running = {int(qid) for qid in state["running"]}
         self.free_at = {
             int(site): float(at) for site, at in state["free_at"].items()
@@ -412,7 +455,7 @@ class OnlineSession:
             outcome = self.submit(typing.cast(int, payload), now)
         elif tag == "window":
             self._release_deferred()
-            if self.dirty and self._pending_ids():
+            if self.dirty and (self.plan or self.queue):
                 self._optimize(now, "window")
             if (
                 self.expects_more_arrivals()
@@ -422,7 +465,7 @@ class OnlineSession:
         elif tag == "completion":
             self.running.discard(payload)
             self._release_deferred()
-            if self.dirty and self._pending_ids():
+            if self.dirty and (self.plan or self.queue):
                 self._optimize(now, "completion")
         else:
             raise OptimizationError(f"unknown clock event tag {tag!r}")
@@ -449,6 +492,7 @@ class OnlineSession:
             self.decisions.append(("defer", qid))
             return "deferred"
         self.queue.append(qid)
+        self._track(qid)
         self.stats.admitted += 1
         self.dirty = True
         self.decisions.append(("admit", qid))
@@ -464,8 +508,9 @@ class OnlineSession:
 
     def _release_deferred(self) -> None:
         while self.deferred and self._admit_room():
-            qid = self.deferred.pop(0)
+            qid = self.deferred.popleft()
             self.queue.append(qid)
+            self._track(qid)
             self.stats.requeued += 1
             self.stats.admitted += 1
             self.dirty = True
@@ -487,12 +532,28 @@ class OnlineSession:
         workload = self.workload
         evaluator = self.evaluator
         evaluator.rebase(self.free_at)
-        ranges = execution_ranges(evaluator, query_ids=pending)
-        groups = conflict_groups(ranges)
+        if self.config.incremental_groups:
+            groups = self.group_index.groups()
+            if self.config.verify_groups:
+                assert groups == conflict_groups(
+                    execution_ranges(evaluator, query_ids=pending)
+                ), "incremental conflict groups diverged from the sweep line"
+        else:
+            ranges = execution_ranges(evaluator, query_ids=pending)
+            groups = conflict_groups(ranges)
         # Stable sort: ties keep pending order, which on the first pass
         # is admission order — exactly the batch scheduler's
         # ``sorted_by_arrival`` tie-breaking.
         arrival_order = sorted(pending, key=workload.arrival_of)
+        fitness_batch = None
+        if self.config.vectorized_ga and any(len(g) >= 2 for g in groups):
+            # Compiled per pass over exactly the pending set; reads the
+            # evaluator's rebased availability at scoring time.
+            from repro.mqo.vector import VectorizedEvaluator
+
+            fitness_batch = VectorizedEvaluator(
+                evaluator, query_ids=pending
+            ).fitness_batch
         group_orders: dict[int, list[int]] = {}
         ga_runs = 0
         warm_seeded = 0
@@ -527,6 +588,7 @@ class OnlineSession:
                     + index
                 ),
                 evaluator_stats=evaluator.stats,
+                fitness_batch=fitness_batch,
             )
             outcome = ga.run(seed_chromosomes=seeds)
             group_orders[index] = outcome.best
@@ -542,7 +604,8 @@ class OnlineSession:
         for index in ordered_groups:
             new_plan.extend(group_orders[index])
         elapsed = self.clock.perf_seconds() - began
-        self.plan[:] = new_plan
+        self.plan.clear()
+        self.plan.extend(new_plan)
         self.queue.clear()
         self.incumbent = list(new_plan)
         self.dirty = False
@@ -570,17 +633,12 @@ class OnlineSession:
         )
 
     def _best_assignment(self, qid: int) -> Assignment:
-        query = self.workload.query(qid)
-        arrival = self.workload.arrival_of(qid)
-        best: Assignment | None = None
-        for candidate in self.evaluator.candidates(query):
-            assignment = self.evaluator._realize(candidate, arrival, self.free_at)
-            if best is None or (
-                assignment.information_value > best.information_value
-            ):
-                best = assignment
-        assert best is not None  # candidates never empty
-        return best
+        # Compiled fast path with the choice memo: dispatch probes the
+        # plan head on *every* event, and between dispatches the site
+        # clocks rarely move, so the memo turns repeated probes into one
+        # lookup.  Bit-identical to realizing every candidate naively
+        # (the pre-fix per-event loop).
+        return self.evaluator.choose_best(qid, self.free_at)
 
     @profiled("online.dispatch")
     def dispatch(self, now: float) -> None:
@@ -592,7 +650,8 @@ class OnlineSession:
             assignment = self._best_assignment(self.plan[0])
             if self.clock and assignment.begin > self.clock.peek_time():
                 break
-            qid = self.plan.pop(0)
+            qid = self.plan.popleft()
+            self._untrack(qid)
             self.evaluator._commit(assignment, self.free_at)
             self.decision.result.assignments.append(assignment)
             self.running.add(qid)
@@ -608,8 +667,10 @@ class OnlineSession:
     def drain(self) -> None:
         """Force out anything still pending once no events remain."""
         if self.queue or self.deferred:  # pragma: no cover - windows drain these
-            self.queue.extend(self.deferred)
-            self.deferred.clear()
+            while self.deferred:
+                qid = self.deferred.popleft()
+                self.queue.append(qid)
+                self._track(qid)
             self._optimize(
                 max(self.free_at.values(), default=0.0), "window"
             )

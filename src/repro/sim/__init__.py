@@ -7,7 +7,7 @@ queueing :class:`Resource`s, JavaSim-style random :mod:`streams
 <repro.sim.streams>` and statistics :mod:`monitors <repro.sim.monitor>`.
 """
 
-from repro.sim.clock import Clock
+from repro.sim.clock import SimulationClock
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.monitor import Monitor, Tally, TimeWeightedMonitor
 from repro.sim.process import Interrupt, Process
@@ -30,7 +30,6 @@ from repro.sim.streams import (
 __all__ = [
     "AllOf",
     "AnyOf",
-    "Clock",
     "DeterministicStream",
     "EmpiricalStream",
     "ErlangStream",
@@ -46,6 +45,7 @@ __all__ = [
     "RandomStream",
     "Request",
     "Resource",
+    "SimulationClock",
     "Simulator",
     "Tally",
     "TimeWeightedMonitor",
@@ -55,3 +55,18 @@ __all__ = [
     "Tracer",
     "UniformStream",
 ]
+
+
+def __getattr__(name: str):
+    if name == "Clock":
+        import warnings
+
+        warnings.warn(
+            "repro.sim.Clock is deprecated: use repro.sim.SimulationClock "
+            "(the monotone DES clock) or the repro.sim.clocks.Clock "
+            "protocol (the sim/wall event-clock seam)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SimulationClock
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,16 +4,27 @@ Time in this package is a continuous ``float`` measured in **minutes**, the
 natural unit for the paper's near-real-time decision support band (2–30
 minutes).  The clock only ever moves forward; attempts to move it backwards
 indicate a kernel bug and raise :class:`~repro.errors.SchedulingError`.
+
+Naming note: this class was called ``Clock`` until the PR 6 serving
+runtime introduced the *event-clock protocol* of the same name in
+:mod:`repro.sim.clocks` — two unrelated types, one legacy monotone
+simulation clock and one sim/wall time-source seam, colliding on a single
+word in sibling modules.  The legacy class is now
+:class:`SimulationClock`; ``repro.sim.clock.Clock`` remains as a
+deprecated alias for one release.
 """
 
 from __future__ import annotations
 
+import typing
+import warnings
+
 from repro.errors import SchedulingError
 
-__all__ = ["Clock"]
+__all__ = ["SimulationClock"]
 
 
-class Clock:
+class SimulationClock:
     """A monotonically advancing simulation clock."""
 
     def __init__(self, start: float = 0.0) -> None:
@@ -41,4 +52,17 @@ class Clock:
         self._now = float(time)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Clock(now={self._now:.4f})"
+        return f"SimulationClock(now={self._now:.4f})"
+
+
+def __getattr__(name: str) -> typing.Any:
+    if name == "Clock":
+        warnings.warn(
+            "repro.sim.clock.Clock is deprecated: the monotone simulation "
+            "clock is now repro.sim.clock.SimulationClock (the Clock "
+            "*protocol* lives in repro.sim.clocks)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SimulationClock
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,7 +2,7 @@
 
 :class:`Simulator` keeps a priority queue of triggered events ordered by
 firing time (ties broken by insertion order) and advances the
-:class:`~repro.sim.clock.Clock` from event to event — the classic
+:class:`~repro.sim.clock.SimulationClock` from event to event — the classic
 event-driven world view of JavaSim, which the paper's evaluation uses to
 "simulate the distributed processing effect".
 """
@@ -13,7 +13,7 @@ import heapq
 from collections.abc import Callable, Generator
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.clock import Clock
+from repro.sim.clock import SimulationClock
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -36,7 +36,7 @@ class Simulator:
     """
 
     def __init__(self, start: float = 0.0) -> None:
-        self._clock = Clock(start)
+        self._clock = SimulationClock(start)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._processed = 0

@@ -61,6 +61,20 @@ class TestClassify:
         assert classify(path) == "iv"
 
     @pytest.mark.parametrize("path", [
+        "schedules.steady.queries_per_sec",
+        "schedules.steady.group_formation.ranges_per_sec",
+    ])
+    def test_throughput_family(self, path):
+        assert classify(path) == "throughput"
+
+    @pytest.mark.parametrize("path", [
+        "schedules.steady.peak_rss_mb",
+        "worker_rss_mb",
+    ])
+    def test_mem_family(self, path):
+        assert classify(path) == "mem"
+
+    @pytest.mark.parametrize("path", [
         "fast.realize_calls",
         "speedup",
         "cells.0.completed",
@@ -110,6 +124,32 @@ class TestCompare:
     def test_counters_never_gate(self):
         current = {"fast": {"wall_seconds": 1.0, "best_fitness": 3.0, "calls": 1}}
         assert compare("mqo", self.baseline, current) == []
+
+    def test_throughput_drop_fails_but_gain_passes(self):
+        # The scale sweep's ratchet: rates gate in the *opposite*
+        # direction of wall time — a drop past 1/tolerance regresses.
+        baseline = {"steady": {"queries_per_sec": 3000.0}}
+        slower = {"steady": {"queries_per_sec": 1000.0}}
+        regressions = compare(
+            "scale", baseline, slower, wall_tolerance=2.0
+        )
+        assert [r.kind for r in regressions] == ["throughput"]
+        assert "lower" in str(regressions[0])
+        within = {"steady": {"queries_per_sec": 1600.0}}
+        assert compare("scale", baseline, within, wall_tolerance=2.0) == []
+        faster = {"steady": {"queries_per_sec": 9000.0}}
+        assert compare("scale", baseline, faster, wall_tolerance=2.0) == []
+
+    def test_memory_growth_fails_like_wall_time(self):
+        baseline = {"steady": {"peak_rss_mb": 100.0}}
+        bloated = {"steady": {"peak_rss_mb": 350.0}}
+        regressions = compare(
+            "scale", baseline, bloated, wall_tolerance=3.0
+        )
+        assert [r.kind for r in regressions] == ["mem"]
+        assert "larger" in str(regressions[0])
+        shrunk = {"steady": {"peak_rss_mb": 60.0}}
+        assert compare("scale", baseline, shrunk, wall_tolerance=3.0) == []
 
     def test_tolerance_validation(self):
         with pytest.raises(ConfigError):

@@ -104,6 +104,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "ablations", "sensitivity", "load", "faults", "stream-mqo",
+            "scale",
         }
 
 

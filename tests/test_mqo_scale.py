@@ -1,0 +1,197 @@
+"""The EXT5 sharded scale sweep (``repro.experiments.scale``).
+
+Small configurations of the same pipeline the committed benchmark runs:
+conflict-group sharding must conserve queries (each dispatched or shed
+exactly once across shards), stay deterministic per shard, and produce
+identical results whether shards run serially or in spawned worker
+processes.  The committed 10^5-query configuration itself is exercised
+by ``make bench-scale``; here a mid-size steady stream rides behind the
+``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.scale import (
+    DEFAULT_SCHEDULES,
+    MILLION_SCHEDULES,
+    ScaleConfig,
+    ScheduleSpec,
+    build_stream,
+    run_scale,
+    run_scale_sweep,
+    run_schedule,
+    shard_assignments,
+)
+
+#: Deterministic fields of a schedule's metrics (wall times excluded).
+_STABLE = ("queries", "shards", "dispatched", "shed", "deferred",
+           "windows", "ga_runs")
+
+STEADY = ScheduleSpec("steady", queries=400, arrival="poisson",
+                      interarrival=1.0)
+BURST = ScheduleSpec("burst", queries=128, arrival="burst",
+                     interarrival=20.0, burst_size=8, max_pending=64,
+                     population_size=8, generations=3, vectorized=True)
+PRESSURE = ScheduleSpec("pressure", queries=200, arrival="poisson",
+                        interarrival=0.4, max_pending=8)
+
+
+def small_config(**overrides) -> ScaleConfig:
+    defaults = dict(shards=2, executor="serial", schedules=(STEADY,))
+    defaults.update(overrides)
+    return ScaleConfig(**defaults)
+
+
+def stable(metrics: dict) -> dict:
+    picked = {key: metrics[key] for key in _STABLE}
+    picked["total_iv"] = metrics["total_iv"]["online"]
+    picked["groups"] = metrics["group_formation"]["groups"]
+    picked["largest_group"] = metrics["group_formation"]["largest_group"]
+    return picked
+
+
+class TestConfigValidation:
+    def test_schedule_spec_rejects_bad_values(self):
+        with pytest.raises(ConfigError, match="queries"):
+            ScheduleSpec("s", queries=0)
+        with pytest.raises(ConfigError, match="arrival"):
+            ScheduleSpec("s", queries=1, arrival="uniform")
+        with pytest.raises(ConfigError, match="interarrival"):
+            ScheduleSpec("s", queries=1, interarrival=0.0)
+        with pytest.raises(ConfigError, match="burst_size"):
+            ScheduleSpec("s", queries=1, burst_size=0)
+
+    def test_scale_config_rejects_bad_values(self):
+        with pytest.raises(ConfigError, match="shards"):
+            small_config(shards=0)
+        with pytest.raises(ConfigError, match="executor"):
+            small_config(executor="thread")
+        with pytest.raises(ConfigError, match="sites"):
+            small_config(sites=99)
+        with pytest.raises(ConfigError, match="schedule"):
+            small_config(schedules=())
+
+    def test_default_and_million_presets(self):
+        assert DEFAULT_SCHEDULES[0].queries == 100_000
+        assert MILLION_SCHEDULES[0].queries == 1_000_000
+        assert MILLION_SCHEDULES[1:] == DEFAULT_SCHEDULES[1:]
+        names = [spec.name for spec in DEFAULT_SCHEDULES]
+        assert names == ["steady", "burst", "pressure"]
+
+
+class TestStreamAndSharding:
+    def test_burst_stream_clumps_arrivals(self):
+        workload = build_stream(small_config(), BURST)
+        arrivals = [workload.arrival_of(q.query_id)
+                    for q in workload.queries]
+        assert arrivals == sorted(arrivals)
+        # Queries 1..8 form the first burst, 9..16 start one gap later.
+        assert arrivals[8] - arrivals[0] == pytest.approx(20.0)
+        assert arrivals[7] - arrivals[0] == pytest.approx(0.35)
+
+    def test_poisson_stream_is_seeded(self):
+        first = build_stream(small_config(), STEADY)
+        second = build_stream(small_config(), STEADY)
+        assert [first.arrival_of(q.query_id) for q in first.queries] == [
+            second.arrival_of(q.query_id) for q in second.queries
+        ]
+
+    def test_shard_assignments_keep_groups_whole(self):
+        groups = [[1, 2, 3], [4], [5, 6], [7], [8, 9, 10, 11]]
+        assigned = shard_assignments(groups, 2)
+        flat = sorted(qid for shard in assigned for qid in shard)
+        assert flat == list(range(1, 12))
+        for group in groups:
+            owners = {
+                index
+                for index, shard in enumerate(assigned)
+                for qid in group if qid in shard
+            }
+            assert len(owners) == 1, f"group {group} split across {owners}"
+
+    def test_shard_assignments_balance_greedily(self):
+        groups = [[1, 2, 3], [4, 5], [6], [7]]
+        assert shard_assignments(groups, 2) == [[1, 2, 3, 7], [4, 5, 6]]
+        # More shards than groups leaves trailing shards empty.
+        assert shard_assignments([[1]], 3) == [[1], [], []]
+        with pytest.raises(ConfigError, match="shards"):
+            shard_assignments(groups, 0)
+
+
+class TestRunSchedule:
+    def test_conserves_queries_and_reports_metrics(self):
+        config = small_config()
+        metrics = run_schedule(config, STEADY)
+        assert metrics["dispatched"] + metrics["shed"] == STEADY.queries
+        assert metrics["shards"] <= config.shards
+        assert metrics["group_formation"]["ranges_per_sec"] > 0
+        assert metrics["queries_per_sec"] > 0
+        assert metrics["peak_rss_mb"] > 0
+        reopt = metrics["reopt"]
+        assert reopt["p50_ms"] <= reopt["p95_ms"] <= reopt["p99_ms"]
+        assert metrics["total_iv"]["online"] > 0
+
+    def test_deterministic_across_runs(self):
+        config = small_config()
+        first = run_schedule(config, STEADY)
+        second = run_schedule(config, STEADY)
+        assert stable(first) == stable(second)
+
+    def test_process_executor_matches_serial(self):
+        serial = run_schedule(small_config(), STEADY)
+        process = run_schedule(small_config(executor="process"), STEADY)
+        assert stable(serial) == stable(process)
+
+    def test_single_shard_dispatches_everything_too(self):
+        sharded = run_schedule(small_config(), STEADY)
+        unsharded = run_schedule(small_config(shards=1), STEADY)
+        assert unsharded["shards"] == 1
+        assert (
+            unsharded["dispatched"] + unsharded["shed"]
+            == sharded["dispatched"] + sharded["shed"]
+        )
+
+    def test_pressure_schedule_defers(self):
+        metrics = run_schedule(small_config(), PRESSURE)
+        assert metrics["deferred"] > 0
+        assert metrics["dispatched"] + metrics["shed"] == PRESSURE.queries
+
+    def test_burst_schedule_forms_burst_sized_groups(self):
+        metrics = run_schedule(small_config(), BURST)
+        assert metrics["group_formation"]["largest_group"] >= BURST.burst_size
+        assert metrics["dispatched"] == BURST.queries
+
+
+class TestSweepAndTable:
+    def test_sweep_shape_matches_snapshot_contract(self):
+        config = small_config(schedules=(STEADY, PRESSURE))
+        data = run_scale_sweep(config)
+        assert set(data["schedules"]) == {"steady", "pressure"}
+        assert data["config"]["shards"] == config.shards
+        for metrics in data["schedules"].values():
+            assert {"queries_per_sec", "wall_seconds", "reopt",
+                    "total_iv", "peak_rss_mb"} <= set(metrics)
+
+    def test_result_table_has_one_row_per_schedule(self):
+        table = run_scale(small_config(schedules=(STEADY, BURST)))
+        assert len(table.rows) == 2
+        rendered = table.render()
+        assert "steady" in rendered and "burst" in rendered
+        assert "qps" in rendered
+
+
+@pytest.mark.slow
+class TestMidSizeSweep:
+    def test_twenty_thousand_query_steady_stream(self):
+        spec = ScheduleSpec("steady", queries=20_000, arrival="poisson",
+                            interarrival=1.0)
+        metrics = run_schedule(
+            small_config(executor="process", schedules=(spec,)), spec
+        )
+        assert metrics["dispatched"] == 20_000
+        assert metrics["shed"] == 0
+        assert metrics["queries_per_sec"] > 100
+        assert metrics["group_formation"]["groups"] > 1_000

@@ -5,36 +5,80 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.clock import Clock
+from repro.sim.clock import SimulationClock
 from repro.sim.event import AllOf, AnyOf
 from repro.sim.scheduler import Simulator
 
 
 class TestClock:
     def test_starts_at_zero_by_default(self):
-        assert Clock().now == 0.0
+        assert SimulationClock().now == 0.0
 
     def test_starts_at_given_time(self):
-        assert Clock(5.5).now == 5.5
+        assert SimulationClock(5.5).now == 5.5
 
     def test_rejects_negative_start(self):
         with pytest.raises(SchedulingError):
-            Clock(-1.0)
+            SimulationClock(-1.0)
 
     def test_advances_forward(self):
-        clock = Clock()
+        clock = SimulationClock()
         clock.advance_to(3.0)
         assert clock.now == 3.0
 
     def test_advance_to_same_time_is_allowed(self):
-        clock = Clock(2.0)
+        clock = SimulationClock(2.0)
         clock.advance_to(2.0)
         assert clock.now == 2.0
 
     def test_rejects_backwards_movement(self):
-        clock = Clock(10.0)
+        clock = SimulationClock(10.0)
         with pytest.raises(SchedulingError):
             clock.advance_to(9.999)
+
+
+class TestClockNameCollision:
+    """Regression: two unrelated classes were both named ``Clock``.
+
+    ``repro.sim.clock`` (the legacy monotone DES clock) and
+    ``repro.sim.clocks`` (the PR 6 sim/wall event-clock protocol) exported
+    colliding ``Clock`` names.  The legacy one is now ``SimulationClock``;
+    the deprecated aliases must keep resolving to the *intended* types.
+    """
+
+    def test_simulation_clock_is_the_monotone_des_clock(self):
+        clock = SimulationClock(1.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_clocks_clock_is_the_event_clock_protocol(self):
+        from repro.sim.clocks import Clock as ClockProtocol
+        from repro.sim.clocks import SimClock, WallClock
+
+        assert isinstance(SimClock(), ClockProtocol)
+        assert isinstance(WallClock(), ClockProtocol)
+        assert not isinstance(SimulationClock(), ClockProtocol)
+        assert ClockProtocol is not SimulationClock
+
+    def test_deprecated_module_alias_warns_and_resolves(self):
+        import repro.sim
+        import repro.sim.clock
+
+        with pytest.warns(DeprecationWarning, match="SimulationClock"):
+            legacy = repro.sim.clock.Clock
+        assert legacy is SimulationClock
+        with pytest.warns(DeprecationWarning, match="SimulationClock"):
+            package_alias = repro.sim.Clock
+        assert package_alias is SimulationClock
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.sim
+        import repro.sim.clock
+
+        with pytest.raises(AttributeError):
+            repro.sim.clock.no_such_name
+        with pytest.raises(AttributeError):
+            repro.sim.no_such_name
 
 
 class TestEventLifecycle:
