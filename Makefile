@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-online test-live test-serve test-durable test-scale serve-smoke serve-smoke-resume trace-check lint ci bench bench-mqo bench-faults bench-online bench-serve bench-scale bench-gate experiments check examples all
+.PHONY: install test test-fast test-faults test-online test-live test-serve test-durable test-scale test-fleet serve-smoke serve-smoke-resume trace-check trace-check-fleet lint ci bench bench-mqo bench-faults bench-online bench-serve bench-scale bench-gate experiments check examples all
 
 install:
 	pip install -e .
@@ -40,6 +40,12 @@ test-durable:
 test-scale:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_mqo_vector.py tests/test_mqo_conflict_incremental.py tests/test_mqo_scale.py -q -m "not slow"
 
+# The fleet telemetry stack: per-shard spools, collector merge,
+# cross-shard checker rules, registry merge property, and the /metrics
+# content negotiation (long configs stay behind `slow`).
+test-fleet:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_fleet.py tests/test_obs_live_merge.py tests/test_serve_metrics_formats.py -q -m "not slow"
+
 # End-to-end HTTP pass over every route; asserts checker-clean trace and
 # SimClock replay equivalence.
 serve-smoke:
@@ -54,6 +60,13 @@ serve-smoke-resume:
 trace-check:
 	PYTHONPATH=src $(PYTHON) -m repro trace fig4 --check >/dev/null
 	@echo "trace-check: fig4 scenario clean"
+
+# Merge a reduced EXT5 steady sweep across shard spools and run the
+# cross-shard checker rules over the merged trace (non-zero on any
+# violation).
+trace-check-fleet:
+	PYTHONPATH=src $(PYTHON) -m repro scale --trace --fleet-metrics --schedule steady --queries 2000 >/dev/null
+	@echo "trace-check-fleet: merged EXT5 steady trace clean"
 
 # Lint only when ruff is actually installed (the CI image may not ship it).
 lint:
@@ -72,7 +85,9 @@ ci: lint
 	$(MAKE) test-serve
 	$(MAKE) test-durable
 	$(MAKE) test-scale
+	$(MAKE) test-fleet
 	$(MAKE) trace-check
+	$(MAKE) trace-check-fleet
 	$(MAKE) serve-smoke
 	$(MAKE) serve-smoke-resume
 	$(MAKE) bench-online

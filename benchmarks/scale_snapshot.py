@@ -4,9 +4,14 @@ Runs the committed scale sweep (``repro.experiments.scale``): a
 10^5-query steady Poisson stream plus burst and pressure schedules,
 sharded by conflict group across spawned worker processes, recording
 queries/sec, group-formation throughput, p50/p95/p99 window re-opt
-latency and peak worker RSS.  Invoked by ``make bench-scale``; the JSON
-is the throughput ratchet for ``repro bench-gate`` (``*_per_sec`` leaves
-regress when they *drop* past the tolerance).
+latency and peak worker RSS.  The three main schedules run with
+telemetry *off* (the ratchet numbers are produced telemetry-free); a
+separate reduced ``fleet_smoke`` section re-runs the steady shape with
+``--trace``-equivalent instrumentation so the fleet collector's
+overhead and checker verdict are pinned too.  Invoked by ``make
+bench-scale``; the JSON is the throughput ratchet for ``repro
+bench-gate`` (``*_per_sec`` leaves regress when they *drop* past the
+tolerance).
 
 Usage::
 
@@ -17,13 +22,55 @@ from __future__ import annotations
 
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
-from repro.experiments.scale import ScaleConfig, run_scale_sweep
+from repro.experiments.scale import (
+    DEFAULT_SCHEDULES,
+    ScaleConfig,
+    run_schedule,
+    run_scale_sweep,
+)
+
+#: Stream length of the traced smoke — big enough for every event kind
+#: to appear, small enough to keep the benchmark budget flat.
+FLEET_SMOKE_QUERIES = 2_000
+
+
+def fleet_smoke() -> dict:
+    """Reduced steady run with the full fleet telemetry stack attached."""
+    config = ScaleConfig(trace=True, fleet_metrics=True)
+    spec = replace(DEFAULT_SCHEDULES[0], queries=FLEET_SMOKE_QUERIES)
+    captured: dict = {}
+
+    def on_fleet(name: str, collector, violations: list) -> None:
+        captured["violations"] = len(violations)
+
+    metrics = run_schedule(config, spec, on_fleet=on_fleet)
+    fleet = metrics["fleet"]
+    shard_ivs = [
+        value for key, value in metrics["total_iv"].items()
+        if key != "online"
+    ]
+    return {
+        "queries": spec.queries,
+        "records": fleet["records"],
+        "dropped_events": fleet["dropped_events"],
+        "ledger_entries": fleet["ledger_entries"],
+        "violations": captured.get("violations", fleet["violations"]),
+        "collect_wall_seconds": fleet["collect_wall_seconds"],
+        # Bit-exact conservation: the merged ledger's fleet IV must equal
+        # the scheduler's own online total, which is the ordered sum of
+        # the per-shard totals.
+        "iv_bit_exact": fleet["total_iv"] == metrics["total_iv"]["online"]
+        == sum(shard_ivs),
+    }
 
 
 def snapshot() -> dict:
-    return run_scale_sweep(ScaleConfig())
+    data = run_scale_sweep(ScaleConfig())
+    data["fleet_smoke"] = fleet_smoke()
+    return data
 
 
 def main() -> None:

@@ -303,6 +303,118 @@ def _run_resume_verify(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _run_scale_fleet(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """``scale --trace/--fleet-metrics``: EXT5 with the fleet telemetry stack.
+
+    Runs the sweep with per-shard spools, merges them through the
+    :class:`~repro.obs.fleet.FleetCollector`, renders one fleet dashboard
+    per schedule, optionally writes chrome traces / an HTML report, and
+    exits non-zero on any cross-shard checker violation.
+    """
+    import json
+    from dataclasses import replace
+
+    from repro.experiments.scale import (
+        DEFAULT_SCHEDULES,
+        ScaleConfig,
+        run_scale_sweep,
+    )
+    from repro.reporting.dashboard import fleet_report_html, render_fleet_dashboard
+
+    schedules = DEFAULT_SCHEDULES
+    if args.schedule:
+        matching = tuple(
+            spec for spec in schedules if spec.name == args.schedule
+        )
+        if not matching:
+            parser.error(
+                f"unknown schedule {args.schedule!r} "
+                f"(expected one of {', '.join(s.name for s in schedules)})"
+            )
+        schedules = matching
+    if args.queries:
+        schedules = tuple(
+            replace(spec, queries=args.queries) for spec in schedules
+        )
+    config = ScaleConfig(
+        trace=args.trace or args.fleet_metrics,
+        fleet_metrics=args.fleet_metrics,
+        schedules=schedules,
+    )
+
+    chunks: list[str] = []
+    all_violations: list = []
+    snapshots: dict[str, dict] = {}
+
+    def trace_out_path(name: str) -> str:
+        if len(schedules) == 1:
+            return args.trace_out
+        root, dot, ext = args.trace_out.rpartition(".")
+        return f"{root}.{name}.{ext}" if dot else f"{args.trace_out}.{name}"
+
+    def on_fleet(name: str, collector, violations: list) -> None:
+        all_violations.extend(violations)
+        snapshot = collector.snapshot()
+        snapshots[name] = snapshot
+        chunks.append(render_fleet_dashboard(snapshot, title=name))
+        if violations:
+            listing = "\n".join(str(violation) for violation in violations)
+            chunks.append(
+                f"trace-check [{name}]: {len(violations)} violation(s)\n{listing}\n"
+            )
+        else:
+            chunks.append(
+                f"trace-check [{name}]: OK "
+                f"({snapshot['fleet']['records']} records, "
+                f"{snapshot['fleet']['ledger_entries']} ledger entries, "
+                f"{snapshot['fleet']['dropped_events']} dropped)\n"
+            )
+        if args.trace_out:
+            path = trace_out_path(name)
+            with open(path, "w") as handle:
+                json.dump(collector.chrome_trace(), handle)
+            chunks.append(f"chrome trace written to {path}\n")
+
+    data = run_scale_sweep(config, on_fleet=on_fleet)
+    summary = ResultTable(
+        title="EXT5 fleet telemetry sweep",
+        headers=["schedule", "queries", "qps", "records", "dropped",
+                 "violations", "collect_s", "total_iv"],
+    )
+    for name, metrics in data["schedules"].items():
+        fleet = metrics.get("fleet", {})
+        summary.add(
+            name,
+            metrics["queries"],
+            metrics["queries_per_sec"],
+            fleet.get("records", 0),
+            fleet.get("dropped_events", 0),
+            fleet.get("violations", 0),
+            fleet.get("collect_wall_seconds", 0.0),
+            metrics["total_iv"]["online"],
+        )
+    body = render(summary, args.fmt) + "\n\n" + "\n".join(chunks)
+
+    if args.html:
+        reports = "\n".join(
+            fleet_report_html(snapshot, title=f"EXT5 fleet: {name}")
+            for name, snapshot in snapshots.items()
+        )
+        with open(args.html, "w") as handle:
+            handle.write(reports + "\n")
+        body += f"html report written to {args.html}\n"
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(body)
+    else:
+        try:
+            print(body, end="")
+        except BrokenPipeError:
+            pass
+    return 1 if all_violations else 0
+
+
 def _run_bench_gate(args: argparse.Namespace) -> int:
     """``bench-gate``: re-run benchmark snapshots and fail on regressions."""
     from repro.experiments.bench_gate import render_gate, run_gate
@@ -403,6 +515,40 @@ def main(argv: list[str] | None = None) -> int:
         help="(with --live-metrics) also write a self-contained HTML report",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "('scale' only) run the sharded sweep with per-shard tracing, "
+            "merge the spools through the fleet collector and run the "
+            "cross-shard trace checker; non-zero exit on violations"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-metrics", action="store_true",
+        help=(
+            "('scale' only) like --trace, plus per-shard live registries "
+            "merged into one fleet registry and rendered as a dashboard"
+        ),
+    )
+    parser.add_argument(
+        "--schedule", default=None, metavar="NAME",
+        help="('scale' with --trace/--fleet-metrics) run only this schedule",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None, metavar="N",
+        help=(
+            "('scale' with --trace/--fleet-metrics) override the stream "
+            "length of every selected schedule"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help=(
+            "('scale' with --trace/--fleet-metrics) write the merged "
+            "chrome://tracing JSON here (multiple schedules add a "
+            "'.<schedule>' suffix before the extension)"
+        ),
+    )
+    parser.add_argument(
         "--wall-tolerance", type=float, default=None,
         help=(
             "('bench-gate' only) allowed wall-clock slowdown multiple; "
@@ -482,6 +628,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.kill_resume:
             return asyncio.run(serve_kill_resume_smoke(args.journal))
         return asyncio.run(serve_smoke())
+    fleet_mode = args.trace or args.fleet_metrics
+    if fleet_mode or args.schedule or args.queries or args.trace_out:
+        if not fleet_mode:
+            parser.error(
+                "--schedule/--queries/--trace-out require --trace or "
+                "--fleet-metrics"
+            )
+        if args.experiment != "scale":
+            parser.error("--trace/--fleet-metrics are only valid with 'scale'")
+        return _run_scale_fleet(parser, args)
     if args.live_metrics:
         if args.experiment != "stream-mqo":
             parser.error("--live-metrics is only valid with 'stream-mqo'")

@@ -51,8 +51,11 @@ throughput leaves may only ratchet up (within the wall tolerance),
 from __future__ import annotations
 
 import multiprocessing
+import os
 import resource
+import tempfile
 import time
+import typing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -68,6 +71,11 @@ from repro.mqo.vector import HAS_NUMPY
 from repro.reporting.tables import ResultTable
 from repro.workload.arrival import poisson_arrivals
 from repro.workload.query import DSSQuery, Workload
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
+    from repro.obs.fleet import FleetCollector
 
 __all__ = [
     "ScheduleSpec",
@@ -163,6 +171,20 @@ class ScaleConfig:
     #: shard (fresh interpreters, so per-shard peak RSS is honest).
     executor: str = "process"
     schedules: tuple[ScheduleSpec, ...] = DEFAULT_SCHEDULES
+    #: Attach per-shard tracers + spools and merge them at join (the
+    #: ``repro.obs.fleet`` path).  Off by default: every committed number
+    #: is produced telemetry-free.
+    trace: bool = False
+    #: Additionally ship each shard's :class:`~repro.obs.live.LiveRegistry`
+    #: state for the merged fleet registry (implies the spool machinery).
+    fleet_metrics: bool = False
+    #: Bound on each shard tracer's retained records (``None`` =
+    #: unbounded).  The spool sees every record via subscription either
+    #: way; a bound only caps worker memory and surfaces ``dropped_events``.
+    trace_capacity: int | None = None
+    #: Directory for the shard spool files; ``None`` uses a temporary
+    #: directory removed after collection.
+    spool_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.tables < 1:
@@ -183,6 +205,15 @@ class ScaleConfig:
             )
         if not self.schedules:
             raise ConfigError("a sweep needs at least one schedule")
+        if self.trace_capacity is not None and self.trace_capacity < 1:
+            raise ConfigError(
+                f"trace_capacity must be >= 1 or None, got {self.trace_capacity}"
+            )
+
+    @property
+    def telemetry(self) -> bool:
+        """Whether shard workers run with the fleet telemetry stack."""
+        return self.trace or self.fleet_metrics
 
 
 def build_catalog(config: ScaleConfig) -> Catalog:
@@ -260,15 +291,125 @@ def shard_assignments(
     return assigned
 
 
+def _traced_run(config, spec, scheduler, workload, shard, spool_path):
+    """Replay :meth:`OnlineMQOScheduler.run` with the telemetry stack attached.
+
+    Same event loop, same decisions: the session handles the identical pop
+    sequence, so stats, dispatch order and total IV are bit-equal to the
+    untraced :meth:`~repro.mqo.online.OnlineMQOScheduler.run`.  Around each
+    pop this driver adds the serving tier's lifecycle emissions — SUBMIT +
+    PLAN on non-shed arrivals, EXEC_START per new ``("start", ...)``
+    decision, COMPLETE + LEDGER (via the shared
+    :func:`~repro.obs.ledger.completion_ledger` constructor) on completion
+    pops — streamed onto the shard spool by subscription while the tracer
+    itself is drained to bound worker memory.  One extra pop loop after
+    :meth:`~repro.mqo.online.OnlineSession.drain` flushes the completions
+    drain-dispatched queries push (the untraced loop never pops them; they
+    change no decision, only telemetry coverage).
+    """
+    from repro.obs import events
+    from repro.obs.fleet import ShardSpoolWriter
+    from repro.obs.ledger import completion_ledger
+    from repro.obs.live import LiveRegistry
+    from repro.sim.clocks import SimClock
+    from repro.sim.trace import Tracer
+
+    clock = SimClock()
+    tracer = Tracer(lambda: clock.now, capacity=config.trace_capacity)
+    scheduler.tracer = tracer
+    session = scheduler.session(workload, clock)
+    cursor = 0
+
+    def emit_starts() -> None:
+        nonlocal cursor
+        for entry in session.decisions[cursor:]:
+            if entry[0] == "start":
+                qid = entry[1]
+                tracer.emit(
+                    events.EXEC_START, workload.query(qid).name,
+                    qid=qid, begin=entry[2],
+                )
+        cursor = len(session.decisions)
+
+    def handle(now: float, tag: str, event_payload) -> None:
+        outcome = session.handle(now, tag, event_payload)
+        if tag == "arrival" and outcome != "shed":
+            qid = event_payload
+            query = workload.query(qid)
+            tracer.emit(events.SUBMIT, query.name, qid=qid)
+            tracer.emit(
+                events.PLAN, query.name,
+                qid=qid, est_iv=session.evaluator.upper_bound(qid),
+            )
+        emit_starts()
+        if tag == "completion":
+            qid = event_payload
+            assignment = session.started[qid]
+            query = workload.query(qid)
+            entry = completion_ledger(
+                query.name, qid, query.business_value, assignment.plan.rates,
+                submitted_at=workload.arrival_of(qid),
+                begin=assignment.begin,
+                completed_at=now,
+                data_timestamp=assignment.data_timestamp,
+            )
+            cl = entry.completed_at - entry.submitted_at
+            sl = max(0.0, entry.completed_at - entry.data_timestamp)
+            tracer.emit(
+                events.COMPLETE, query.name,
+                qid=qid, iv=entry.reported_iv, cl=cl, sl=sl,
+            )
+            tracer.emit(events.LEDGER, query.name, **entry.to_dict())
+        tracer.drain()
+
+    with ShardSpoolWriter(
+        spool_path, shard, meta={"schedule": spec.name, "seed": config.seed},
+    ) as spool:
+        spool.attach(tracer)
+        registry = (
+            LiveRegistry().attach(tracer) if config.fleet_metrics else None
+        )
+        ordered = workload.sorted_by_arrival()
+        session.arrivals_expected = len(ordered)
+        for query in ordered:
+            clock.push(
+                workload.arrival_of(query.query_id), "arrival", query.query_id
+            )
+        while clock:
+            now, tag, event_payload = clock.pop()
+            handle(now, tag, event_payload)
+        session.drain()
+        emit_starts()
+        while clock:
+            now, tag, event_payload = clock.pop()
+            handle(now, tag, event_payload)
+        tracer.drain()
+        if registry is not None:
+            spool.registry(registry)
+        decision = session.decision
+        spool.summary(
+            total_iv=decision.total_information_value,
+            dropped_events=tracer.dropped,
+            queries=len(ordered),
+            dispatched=decision.stats.dispatched,
+            shed=decision.stats.shed,
+            deferred=decision.stats.deferred,
+        )
+    return decision
+
+
 def _run_shard(payload) -> dict:
     """One shard's online run (module-level: spawned workers pickle it).
 
     Rebuilds catalog, cost model and stream from the config — cheaper and
     start-method-agnostic versus pickling 10^5 compiled plans — then runs
     the online scheduler over this shard's subset of the arrival stream
-    (original ids and arrival times, stream order preserved).
+    (original ids and arrival times, stream order preserved).  With a
+    spool path the run goes through :func:`_traced_run` (same decisions,
+    telemetry shipped home); without one it is exactly the untraced
+    scheduler loop.
     """
-    config, spec, shard_ids = payload
+    config, spec, shard_ids, shard, spool_path = payload
     catalog, cost_model, rates = _infrastructure(config)
     members = set(shard_ids)
     stream = build_stream(config, spec)
@@ -292,7 +433,12 @@ def _run_shard(payload) -> dict:
             vectorized_ga=spec.vectorized and HAS_NUMPY,
         ),
     )
-    decision = scheduler.run(workload)
+    if spool_path is None:
+        decision = scheduler.run(workload)
+    else:
+        decision = _traced_run(
+            config, spec, scheduler, workload, shard, spool_path
+        )
     stats = decision.stats
     return {
         "queries": len(shard_ids),
@@ -319,8 +465,21 @@ def _percentile_ms(reopts: list[float], fraction: float) -> float:
     return reopts[rank] * 1000.0
 
 
-def run_schedule(config: ScaleConfig, spec: ScheduleSpec) -> dict:
-    """One schedule end to end: group, shard, run, aggregate."""
+def run_schedule(
+    config: ScaleConfig,
+    spec: ScheduleSpec,
+    on_fleet: "Callable[[str, FleetCollector, list], None] | None" = None,
+) -> dict:
+    """One schedule end to end: group, shard, run, aggregate.
+
+    With telemetry enabled (``config.trace`` / ``config.fleet_metrics``)
+    each worker writes a shard spool; the spools are merged at join into a
+    :class:`~repro.obs.fleet.FleetCollector`, audited by the cross-shard
+    checker, and summarized under the ``"fleet"`` metrics key.  Pass
+    ``on_fleet`` to receive ``(schedule_name, collector, violations)``
+    before the spool directory is cleaned up (the CLI renders dashboards
+    and chrome traces from it).
+    """
     catalog, cost_model, rates = _infrastructure(config)
     stream = build_stream(config, spec)
 
@@ -336,65 +495,125 @@ def run_schedule(config: ScaleConfig, spec: ScheduleSpec) -> dict:
     groups = tracker.groups()
     formation_wall = time.perf_counter() - formation_started
 
-    payloads = [
-        (config, spec, shard_ids)
-        for shard_ids in shard_assignments(groups, config.shards)
-        if shard_ids
-    ]
-    run_started = time.perf_counter()
-    if config.executor == "process":
-        context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(
-            max_workers=len(payloads), mp_context=context
-        ) as pool:
-            shard_results = list(pool.map(_run_shard, payloads))
-    else:
-        shard_results = [_run_shard(payload) for payload in payloads]
-    run_wall = time.perf_counter() - run_started
+    spool_tmp: tempfile.TemporaryDirectory | None = None
+    spool_dir = config.spool_dir
+    if config.telemetry:
+        if spool_dir is None:
+            spool_tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+            spool_dir = spool_tmp.name
+        else:
+            os.makedirs(spool_dir, exist_ok=True)
+    try:
+        assigned = [
+            shard_ids
+            for shard_ids in shard_assignments(groups, config.shards)
+            if shard_ids
+        ]
+        payloads = []
+        spool_paths = []
+        for shard, shard_ids in enumerate(assigned):
+            spool_path = None
+            if config.telemetry:
+                spool_path = os.path.join(
+                    spool_dir, f"{spec.name}-shard{shard}.spool"
+                )
+                spool_paths.append(spool_path)
+            payloads.append((config, spec, shard_ids, shard, spool_path))
+        run_started = time.perf_counter()
+        if config.executor == "process":
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=len(payloads), mp_context=context
+            ) as pool:
+                shard_results = list(pool.map(_run_shard, payloads))
+        else:
+            shard_results = [_run_shard(payload) for payload in payloads]
+        run_wall = time.perf_counter() - run_started
 
-    reopts = sorted(
-        value
-        for result in shard_results
-        for value in result["reopt_seconds"]
-    )
-    dispatched = sum(result["dispatched"] for result in shard_results)
-    total_wall = formation_wall + run_wall
-    return {
-        "queries": spec.queries,
-        "shards": len(payloads),
-        "group_formation": {
-            "wall_seconds": round(formation_wall, 3),
-            "ranges_per_sec": round(len(ranges) / formation_wall, 1),
-            "groups": len(groups),
-            "largest_group": max(len(group) for group in groups),
-        },
-        "wall_seconds": round(run_wall, 3),
-        "queries_per_sec": round(dispatched / total_wall, 1),
-        "dispatched": dispatched,
-        "shed": sum(result["shed"] for result in shard_results),
-        "deferred": sum(result["deferred"] for result in shard_results),
-        "windows": sum(result["windows"] for result in shard_results),
-        "ga_runs": sum(result["ga_runs"] for result in shard_results),
-        "reopt": {
-            "p50_ms": round(_percentile_ms(reopts, 0.50), 3),
-            "p95_ms": round(_percentile_ms(reopts, 0.95), 3),
-            "p99_ms": round(_percentile_ms(reopts, 0.99), 3),
-        },
-        "total_iv": {
-            "online": sum(result["total_iv"] for result in shard_results),
-        },
-        "peak_rss_mb": round(
-            max(result["max_rss_kb"] for result in shard_results) / 1024.0, 1
-        ),
-    }
+        reopts = sorted(
+            value
+            for result in shard_results
+            for value in result["reopt_seconds"]
+        )
+        dispatched = sum(result["dispatched"] for result in shard_results)
+        total_wall = formation_wall + run_wall
+        rss_kbs = [result["max_rss_kb"] for result in shard_results]
+        metrics = {
+            "queries": spec.queries,
+            "shards": len(payloads),
+            "group_formation": {
+                "wall_seconds": round(formation_wall, 3),
+                "ranges_per_sec": round(len(ranges) / formation_wall, 1),
+                "groups": len(groups),
+                "largest_group": max(len(group) for group in groups),
+            },
+            "wall_seconds": round(run_wall, 3),
+            "queries_per_sec": round(dispatched / total_wall, 1),
+            "dispatched": dispatched,
+            "shed": sum(result["shed"] for result in shard_results),
+            "deferred": sum(result["deferred"] for result in shard_results),
+            "windows": sum(result["windows"] for result in shard_results),
+            "ga_runs": sum(result["ga_runs"] for result in shard_results),
+            "reopt": {
+                "p50_ms": round(_percentile_ms(reopts, 0.50), 3),
+                "p95_ms": round(_percentile_ms(reopts, 0.95), 3),
+                "p99_ms": round(_percentile_ms(reopts, 0.99), 3),
+            },
+            "total_iv": {
+                "online": sum(
+                    result["total_iv"] for result in shard_results
+                ),
+                **{
+                    f"shard{shard}": result["total_iv"]
+                    for shard, result in enumerate(shard_results)
+                },
+            },
+            "peak_rss_mb": round(max(rss_kbs) / 1024.0, 1),
+            # Peak-of-shards hides both skew and the fleet's real footprint;
+            # record each worker's peak and their sum alongside the max.
+            "rss": {
+                **{
+                    f"shard{shard}_rss_mb": round(kb / 1024.0, 1)
+                    for shard, kb in enumerate(rss_kbs)
+                },
+                "sum_rss_mb": round(sum(rss_kbs) / 1024.0, 1),
+            },
+        }
+        if config.telemetry:
+            from repro.obs.fleet import FleetCollector
+
+            collect_started = time.perf_counter()
+            collector = FleetCollector.from_paths(spool_paths)
+            violations = collector.check()
+            snapshot = collector.snapshot()
+            collect_wall = time.perf_counter() - collect_started
+            fleet = snapshot["fleet"]
+            metrics["fleet"] = {
+                "records": fleet["records"],
+                "dropped_events": fleet["dropped_events"],
+                "ledger_entries": fleet["ledger_entries"],
+                "violations": len(violations),
+                "collect_wall_seconds": round(collect_wall, 3),
+            }
+            if "total_iv" in fleet:
+                metrics["fleet"]["total_iv"] = fleet["total_iv"]
+            if on_fleet is not None:
+                on_fleet(spec.name, collector, violations)
+        return metrics
+    finally:
+        if spool_tmp is not None:
+            spool_tmp.cleanup()
 
 
-def run_scale_sweep(config: ScaleConfig | None = None) -> dict:
+def run_scale_sweep(
+    config: ScaleConfig | None = None,
+    on_fleet: "Callable[[str, FleetCollector, list], None] | None" = None,
+) -> dict:
     """The full sweep as the ``BENCH_scale.json`` metrics dict."""
     config = config or ScaleConfig()
     schedules = {}
     for spec in config.schedules:
-        schedules[spec.name] = run_schedule(config, spec)
+        schedules[spec.name] = run_schedule(config, spec, on_fleet=on_fleet)
     return {
         "config": {
             "tables": config.tables,
@@ -405,6 +624,8 @@ def run_scale_sweep(config: ScaleConfig | None = None) -> dict:
             "window": config.window,
             "max_candidates": config.max_candidates,
             "numpy": HAS_NUMPY,
+            "trace": config.trace,
+            "fleet_metrics": config.fleet_metrics,
         },
         "schedules": schedules,
     }

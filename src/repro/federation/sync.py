@@ -33,6 +33,7 @@ from repro.federation.catalog import (
 )
 from repro.federation.faults import SYNC_DELAY, SYNC_SKIP
 from repro.obs import events
+from repro.obs.live import EwmaRate
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.faults import FaultInjector
@@ -158,6 +159,10 @@ class ReplicationManager:
         self.total_syncs = 0
         self.syncs_skipped = 0
         self.syncs_delayed = 0
+        #: Per-table sync-application EWMAs (events/minute) — the update-rate
+        #: signal a demand-driven sync controller reads per table.
+        self.update_rate_half_life = 10.0
+        self.update_rates: dict[str, EwmaRate] = {}
         self._listeners: list[SyncListener] = []
         self._started = False
 
@@ -230,7 +235,33 @@ class ReplicationManager:
             replica.record_applied_sync(now)
         if self.qos_max_staleness is not None and gap > self.qos_max_staleness:
             self.qos_violations += 1
+        if replica.name not in self.update_rates:
+            self.update_rates[replica.name] = EwmaRate(self.update_rate_half_life)
+        self.update_rates[replica.name].observe(now)
         if self.tracer is not None:
             self.tracer.emit(events.SYNC_APPLY, replica.name, at=now, gap=gap)
         for listener in self._listeners:
             listener(replica, now)
+
+    def table_gauges(self, now: float | None = None) -> dict[str, dict[str, float]]:
+        """Per-table staleness/divergence/update-rate gauges at ``now``.
+
+        The manager-side counterpart of the trace-derived
+        :class:`~repro.obs.live.TableSyncState` block: staleness reads the
+        replica's *realized* freshness (what it actually holds), divergence
+        the published-minus-realized gap
+        (:meth:`~repro.federation.catalog.Replica.divergence_at`), and the
+        update rate the per-table sync-application EWMA — the inputs
+        ROADMAP item 2's demand-driven sync controller consumes.
+        """
+        now = self.sim.now if now is None else now
+        gauges: dict[str, dict[str, float]] = {}
+        for replica in self.catalog.replicas:
+            rate = self.update_rates.get(replica.name)
+            gauges[replica.name] = {
+                "sync.table.staleness": replica.realized_staleness_at(now),
+                "sync.table.divergence": replica.divergence_at(now),
+                "sync.table.update_rate": rate.rate(now) if rate else 0.0,
+                "sync.table.syncs": float(replica.sync_count),
+            }
+        return gauges

@@ -27,11 +27,18 @@ of the optimizer and executor hot paths.
 
 from repro.obs import events
 from repro.obs.checker import TraceChecker, Violation
+from repro.obs.fleet import (
+    FleetCollector,
+    ShardSpoolWriter,
+    ShardTelemetry,
+    read_spool,
+)
 from repro.obs.live import (
     EwmaMean,
     EwmaRate,
     LiveRegistry,
     P2Quantile,
+    TableSyncState,
     WindowCounter,
 )
 from repro.obs.profile import PROFILER, ProfileRecord, WallProfiler, profiled
@@ -58,6 +65,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     registry_from_system,
+    to_prometheus,
 )
 from repro.obs.spans import Span, build_query_spans, render_span
 
@@ -70,6 +78,11 @@ __all__ = [
     "EwmaMean",
     "WindowCounter",
     "P2Quantile",
+    "TableSyncState",
+    "FleetCollector",
+    "ShardSpoolWriter",
+    "ShardTelemetry",
+    "read_spool",
     "SLORule",
     "SLOMonitor",
     "Alert",
@@ -86,6 +99,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "registry_from_system",
+    "to_prometheus",
     "Span",
     "build_query_spans",
     "render_span",

@@ -147,6 +147,158 @@ class TraceChecker:
             )
         return self.check(system.tracer.records, dropped=system.tracer.dropped)
 
+    def check_fleet(
+        self, records: Sequence[TraceRecord], snapshot: dict
+    ) -> list[Violation]:
+        """Audit a merged multi-shard trace against its fleet snapshot.
+
+        ``records`` is the :class:`~repro.obs.fleet.FleetCollector`'s merged
+        trace (every detail tagged ``shard=k``); ``snapshot`` its fleet
+        snapshot.  On top of re-running every single-process rule per shard
+        (with that shard's ``dropped_events``), four cross-shard rules fire:
+
+        * ``shard-tag`` — every record carries a well-formed (non-negative
+          integer) shard tag;
+        * ``shard-ownership`` — every query id appears on exactly one
+          shard (conflict-group sharding must partition the stream);
+        * ``fleet-dropped-surfaced`` — every shard present in the trace has
+          a ``dropped_events`` entry in the snapshot's shard panels;
+        * ``fleet-iv-conservation`` / ``fleet-cl-conservation`` — per-shard
+          ledger IV/CL sums re-derived from the trace (left-to-right, trace
+          order) must equal the snapshot's per-shard values **bit-exactly**,
+          and their shard-order sum must equal the fleet totals
+          (including ``total_iv`` when the shard summaries carry it)
+          bit-exactly — the fleet aggregation may not lose or invent a
+          single ulp.
+        """
+        violations: list[Violation] = []
+        panels = {
+            int(panel["shard"]): panel for panel in snapshot.get("shards", [])
+        }
+        fleet = snapshot.get("fleet", {})
+
+        by_shard: dict[int, list[TraceRecord]] = defaultdict(list)
+        for index, record in enumerate(records):
+            shard = record.detail.get("shard")
+            if isinstance(shard, bool) or not isinstance(shard, int) or shard < 0:
+                violations.append(Violation(
+                    "shard-tag", f"record[{index}]",
+                    f"{record.kind} at t={record.time!r} carries a malformed "
+                    f"shard tag {shard!r} (need an integer >= 0)",
+                ))
+                continue
+            # Strip the tag: per-shard rules (ledger parsing in particular)
+            # must see the record exactly as the shard emitted it.
+            by_shard[shard].append(TraceRecord(
+                time=record.time,
+                kind=record.kind,
+                subject=record.subject,
+                detail={
+                    key: value
+                    for key, value in record.detail.items()
+                    if key != "shard"
+                },
+            ))
+
+        for shard, shard_records in sorted(by_shard.items()):
+            panel = panels.get(shard)
+            dropped = int(panel.get("dropped_events", 0)) if panel else 0
+            for violation in self.check(shard_records, dropped=dropped):
+                violations.append(Violation(
+                    violation.rule,
+                    f"shard{shard}:{violation.subject}",
+                    violation.message,
+                ))
+
+        owners: dict[int, set[int]] = defaultdict(set)
+        for shard, shard_records in by_shard.items():
+            for record in shard_records:
+                qid = record.detail.get("qid")
+                if qid is None and record.kind == events.LEDGER:
+                    qid = record.detail.get("query_id")
+                if qid is not None:
+                    owners[qid].add(shard)
+        for qid, shards in sorted(owners.items()):
+            if len(shards) > 1:
+                violations.append(Violation(
+                    "shard-ownership", f"query:{qid}",
+                    f"query appears on shards {sorted(shards)}; sharding "
+                    f"must assign each query to exactly one worker",
+                ))
+
+        for shard in sorted(by_shard):
+            panel = panels.get(shard)
+            if panel is None or "dropped_events" not in panel:
+                violations.append(Violation(
+                    "fleet-dropped-surfaced", f"shard{shard}",
+                    "shard present in the trace but its dropped_events "
+                    "counter is missing from the fleet snapshot",
+                ))
+
+        self._check_fleet_conservation(by_shard, panels, fleet, violations)
+        return violations
+
+    def _check_fleet_conservation(
+        self,
+        by_shard: dict[int, list[TraceRecord]],
+        panels: dict[int, dict],
+        fleet: dict,
+        violations: list[Violation],
+    ) -> None:
+        """Trace → shard sums → fleet totals, every step ``==``-exact."""
+        derived: dict[int, dict[str, float]] = {}
+        for shard, shard_records in sorted(by_shard.items()):
+            ledger_iv = 0.0
+            ledger_cl = 0.0
+            for record in shard_records:
+                if record.kind != events.LEDGER:
+                    continue
+                detail = record.detail
+                ledger_iv += detail.get("reported_iv", 0.0)
+                ledger_cl += detail.get("completed_at", 0.0) - detail.get(
+                    "submitted_at", 0.0
+                )
+            derived[shard] = {"ledger_iv": ledger_iv, "ledger_cl": ledger_cl}
+
+        for key, rule in (
+            ("ledger_iv", "fleet-iv-conservation"),
+            ("ledger_cl", "fleet-cl-conservation"),
+        ):
+            total = 0.0
+            for shard in sorted(by_shard):
+                value = derived[shard][key]
+                panel = panels.get(shard)
+                if panel is not None and key in panel and panel[key] != value:
+                    violations.append(Violation(
+                        rule, f"shard{shard}",
+                        f"snapshot reports {key}={panel[key]!r} but the "
+                        f"shard's trace sums to {value!r} (must be bit-exact)",
+                    ))
+                total += value
+            if key in fleet and fleet[key] != total:
+                violations.append(Violation(
+                    rule, "fleet",
+                    f"fleet {key}={fleet[key]!r} but the shard-order sum of "
+                    f"per-shard values is {total!r} (must be bit-exact)",
+                ))
+
+        if "total_iv" in fleet:
+            shard_totals = [
+                panels[shard]["total_iv"]
+                for shard in sorted(panels)
+                if "total_iv" in panels[shard]
+            ]
+            total = 0.0
+            for value in shard_totals:
+                total += value
+            if shard_totals and fleet["total_iv"] != total:
+                violations.append(Violation(
+                    "fleet-iv-conservation", "fleet",
+                    f"fleet total_iv={fleet['total_iv']!r} but the "
+                    f"shard-order sum of per-shard totals is {total!r} "
+                    f"(must be bit-exact)",
+                ))
+
     def assert_clean(
         self, records: Sequence[TraceRecord], dropped: int = 0
     ) -> None:

@@ -118,15 +118,30 @@ def _us(minutes: float) -> float:
     return minutes * _MINUTES_TO_US
 
 
-def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
+def to_chrome_trace(
+    records: Sequence[TraceRecord],
+    pid: int = 1,
+    process_name: str | None = None,
+) -> dict:
     """Render a trace in the chrome ``trace_event`` JSON format.
 
     Queries become one thread each (named after the query), with complete
     ("X") slices for the ledger's phases; replicas and sites land on
-    dedicated threads as instant ("i") events.
+    dedicated threads as instant ("i") events.  ``pid`` selects the chrome
+    process every event lands on (the fleet collector gives each shard its
+    own pid so shards render as separate process groups; pid 1 is the
+    single-process simulation domain, pid 2 the wall-clock profiler);
+    ``process_name`` emits the matching ``process_name`` metadata row.
     """
     trace_events: list[dict] = []
     tids: dict[str, int] = {}
+    if process_name is not None:
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": process_name},
+        })
 
     def tid_for(label: str) -> int:
         if label not in tids:
@@ -135,7 +150,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
             trace_events.append({
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": label},
             })
@@ -158,7 +173,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
                 trace_events.append({
                     "name": name,
                     "ph": "X",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": tid,
                     "ts": _us(start),
                     "dur": _us(duration),
@@ -168,7 +183,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
             trace_events.append({
                 "name": "iv",
                 "ph": "C",  # counter track: realized IV at completion
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "ts": _us(entry.completed_at),
                 "args": {"iv": entry.reported_iv},
@@ -181,7 +196,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
                 "name": record.kind,
                 "ph": "i",
                 "s": "t",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "ts": _us(record.time),
                 "cat": "sync",
@@ -193,7 +208,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
                 "name": record.kind,
                 "ph": "i",
                 "s": "t",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "ts": _us(record.time),
                 "cat": "fault",
@@ -206,7 +221,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
                 "name": record.kind,
                 "ph": "i",
                 "s": "t",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "ts": _us(record.time),
                 "cat": "lifecycle",
@@ -218,7 +233,7 @@ def to_chrome_trace(records: Sequence[TraceRecord]) -> dict:
                 "name": f"{record.kind} {record.subject}",
                 "ph": "i",
                 "s": "t",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "ts": _us(record.time),
                 "cat": "control",

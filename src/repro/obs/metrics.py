@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import typing
 from bisect import bisect_left
 from dataclasses import fields as dataclass_fields
@@ -31,6 +32,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "registry_from_system",
+    "to_prometheus",
 ]
 
 #: Default histogram bucket upper bounds (minutes / IV units).
@@ -150,6 +152,27 @@ class Histogram:
             running += bucket_count
         return self.maximum
 
+    def merge_from(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram, bucket-wise.
+
+        Exact: every aggregate (bucket counts, count, sum, min, max) of the
+        merged histogram equals what one histogram fed both streams would
+        hold, up to float addition order on ``sum``.  Requires identical
+        bucket bounds.
+        """
+        if other.bounds != self.bounds:
+            raise SimulationError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
     def snapshot(self) -> dict:
         """JSON-ready representation."""
         return {
@@ -161,6 +184,17 @@ class Histogram:
             "max": self.maximum if self.count else None,
             "mean": self.mean,
         }
+
+    @classmethod
+    def from_snapshot(cls, name: str, data: dict) -> "Histogram":
+        """Inverse of :meth:`snapshot` (used to ship histograms across processes)."""
+        histogram = cls(name, bounds=tuple(data["bounds"]))
+        histogram.counts = [int(count) for count in data["counts"]]
+        histogram.count = int(data["count"])
+        histogram.sum = float(data["sum"])
+        histogram.minimum = math.inf if data["min"] is None else float(data["min"])
+        histogram.maximum = -math.inf if data["max"] is None else float(data["max"])
+        return histogram
 
 
 class MetricsRegistry:
@@ -289,6 +323,14 @@ def registry_from_system(system: "FederatedSystem") -> MetricsRegistry:
     registry.counter("sync.delayed").inc(replication.syncs_delayed)
     registry.counter("sync.qos_violations").inc(replication.qos_violations)
     registry.observe_monitor("sync.staleness", replication.staleness)
+    for table, gauges in sorted(replication.table_gauges(system.sim.now).items()):
+        for name, value in sorted(gauges.items()):
+            registry.gauge(f"{name}.{table}").set(value)
+
+    for site_id in sorted(system.sites):
+        site = system.sites[site_id]
+        for name, value in sorted(site.telemetry().items()):
+            registry.gauge(f"{name}.{site.name}").set(value)
 
     if system.fault_stats is not None:
         registry.ingest_counters("faults", system.fault_stats)
@@ -302,3 +344,78 @@ def registry_from_system(system: "FederatedSystem") -> MetricsRegistry:
         registry.counter("tracer.dropped_events").inc(system.tracer.dropped)
 
     return registry
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    sanitized = _PROM_NAME.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = f"_{sanitized}"
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_histogram(lines: list[str], name: str, data: dict) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bound, bucket_count in zip(data["bounds"], data["counts"]):
+        cumulative += bucket_count
+        lines.append(f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {data["count"]}')
+    lines.append(f"{name}_sum {_prom_value(data['sum'])}")
+    lines.append(f"{name}_count {data['count']}")
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format 0.0.4.
+
+    Accepts both snapshot shapes the repo produces —
+    :meth:`MetricsRegistry.snapshot` (``counters``/``gauges``/``histograms``)
+    and :meth:`~repro.obs.live.LiveRegistry.snapshot` (which adds ``rates``,
+    ``quantiles``, ``time`` and per-table ``tables``).  Counters export as
+    ``counter``; gauges, rates and quantiles as ``gauge``; histograms as
+    cumulative ``_bucket``/``_sum``/``_count`` series; per-table gauges get a
+    ``table`` label.  Metric names are sanitized (``.`` → ``_``) and prefixed.
+    """
+    lines: list[str] = []
+    if "time" in snapshot:
+        name = _prom_name("time", prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_prom_value(snapshot['time'])}")
+    for section, prom_type in (
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("rates", "gauge"),
+        ("quantiles", "gauge"),
+    ):
+        for metric, value in sorted(snapshot.get(section, {}).items()):
+            name = _prom_name(metric, prefix)
+            lines.append(f"# TYPE {name} {prom_type}")
+            lines.append(f"{name} {_prom_value(value)}")
+    tables = snapshot.get("tables", {})
+    by_metric: dict[str, list[tuple[str, float]]] = {}
+    for table, gauges in sorted(tables.items()):
+        for metric, value in sorted(gauges.items()):
+            by_metric.setdefault(metric, []).append((table, value))
+    for metric, series in sorted(by_metric.items()):
+        name = _prom_name(metric, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        for table, value in series:
+            lines.append(f'{name}{{table="{table}"}} {_prom_value(value)}')
+    for metric, data in sorted(snapshot.get("histograms", {}).items()):
+        _prom_histogram(lines, _prom_name(metric, prefix), data)
+    return "\n".join(lines) + "\n"

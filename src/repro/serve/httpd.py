@@ -16,9 +16,12 @@ Routes
   admission outcome returns immediately and ``GET /result/<qid>`` blocks
   for the result.
 * ``GET /result/<qid>`` — the query's result (blocks until completion).
-* ``GET /metrics`` — the :class:`~repro.obs.live.LiveRegistry` snapshot
-  as JSON (counters, gauges, rates, quantiles, histograms at the current
-  logical time).
+* ``GET /metrics`` — the :class:`~repro.obs.live.LiveRegistry` snapshot.
+  ``?format=json`` (the default) returns the JSON snapshot (counters,
+  gauges, rates, quantiles, histograms, per-table sync gauges at the
+  current logical time); ``?format=prometheus`` returns the same state in
+  Prometheus text exposition format 0.0.4 (``text/plain``).  Any other
+  value is a 400 naming the supported formats.
 * ``GET /status`` (also ``/``) — the live HTML dashboard.
 * ``GET /healthz`` — liveness probe with clock readings.
 * ``POST /shutdown`` — graceful drain: stop accepting, finish in-flight
@@ -180,13 +183,14 @@ class HTTPServer:
                 pass
 
     async def _route(self, method: str, path: str, body: bytes) -> bytes:
+        path, _, query_string = path.partition("?")
         if path in ("/", "/status") and method == "GET":
             return _response(
                 200, self.service.status_html().encode("utf-8"),
                 content_type="text/html; charset=utf-8",
             )
         if path == "/metrics" and method == "GET":
-            return _json_response(200, self.service.metrics_snapshot())
+            return self._metrics(query_string)
         if path == "/healthz" and method == "GET":
             return _json_response(200, {
                 "ok": True,
@@ -206,6 +210,30 @@ class HTTPServer:
         if path in ("/", "/status", "/metrics", "/healthz", "/result"):
             return _json_response(405, {"error": f"{method} not allowed"})
         return _json_response(404, {"error": f"no route {path!r}"})
+
+    #: ``/metrics`` content negotiation: formats we can actually serve.
+    METRICS_FORMATS = ("json", "prometheus")
+
+    def _metrics(self, query_string: str) -> bytes:
+        requested = "json"
+        for pair in query_string.split("&"):
+            if not pair:
+                continue
+            name, _, value = pair.partition("=")
+            if name == "format":
+                requested = value or "json"
+        if requested == "json":
+            return _json_response(200, self.service.metrics_snapshot())
+        if requested == "prometheus":
+            return _response(
+                200,
+                self.service.metrics_prometheus().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return _json_response(400, {
+            "error": f"unknown metrics format {requested!r}",
+            "supported": list(self.METRICS_FORMATS),
+        })
 
     async def _submit(self, body: bytes) -> bytes:
         try:

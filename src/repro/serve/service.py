@@ -600,6 +600,12 @@ class QueryService:
         """The live registry's snapshot at the current logical time."""
         return self.registry.snapshot(self._logical_now)
 
+    def metrics_prometheus(self) -> str:
+        """The same snapshot in Prometheus text exposition format 0.0.4."""
+        from repro.obs.metrics import to_prometheus
+
+        return to_prometheus(self.metrics_snapshot())
+
     def status_html(self) -> str:
         """The live status page (dashboard renderer over the registry)."""
         from repro.reporting.dashboard import live_report_html

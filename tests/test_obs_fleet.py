@@ -1,0 +1,352 @@
+"""Fleet telemetry tests: spools, the collector merge, cross-shard rules.
+
+Covers the full shard-to-fleet path: D1-framed spool round-trips (with
+strict torn-tail detection), the collector's stable global merge and
+chrome-trace export, each cross-shard checker rule firing on constructed
+bad input, and a small end-to-end sharded run that must be checker-clean,
+bit-exact in its IV conservation, and — with telemetry off — identical
+to the untraced sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.checker import TraceChecker
+from repro.obs.fleet import (
+    FLEET_PID_BASE,
+    FleetCollector,
+    ShardSpoolWriter,
+    ShardTelemetry,
+    read_spool,
+)
+from repro.core.value import DiscountRates
+from repro.obs.ledger import completion_ledger
+from repro.obs.live import LiveRegistry, TableSyncState
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def ledger_detail(qid: int, submitted: float, completed: float) -> dict:
+    entry = completion_ledger(
+        f"q{qid}", qid, business_value=1.0,
+        rates=DiscountRates(0.02, 0.02),
+        submitted_at=submitted, begin=submitted, completed_at=completed,
+        data_timestamp=submitted,
+    )
+    return entry.to_dict()
+
+
+def shard_records(shard: int, qid: int, base: float) -> list[TraceRecord]:
+    """A minimal checker-clean lifecycle for one query, tagged ``shard``."""
+    detail = ledger_detail(qid, submitted=base, completed=base + 1.0)
+    iv = detail["reported_iv"]
+    records = [
+        TraceRecord(base, "submit", f"q{qid}", {"qid": qid}),
+        TraceRecord(base, "plan", f"q{qid}", {"qid": qid, "est_iv": 1.0}),
+        TraceRecord(base, "exec.start", f"q{qid}", {"qid": qid, "begin": base}),
+        TraceRecord(base + 1.0, "complete", f"q{qid}",
+                    {"qid": qid, "iv": iv, "cl": 1.0, "sl": 1.0}),
+        TraceRecord(base + 1.0, "ledger", f"q{qid}", detail),
+    ]
+    for record in records:
+        record.detail["shard"] = shard
+    return records
+
+
+def telemetry_of(shard: int, qid: int, base: float) -> ShardTelemetry:
+    records = shard_records(shard, qid, base)
+    ledger = [r for r in records if r.kind == "ledger"][0].detail
+    return ShardTelemetry(
+        shard=shard,
+        records=records,
+        summary={
+            "total_iv": ledger["reported_iv"],
+            "dropped_events": 0,
+        },
+    )
+
+
+class TestSpoolRoundTrip:
+    def test_header_records_registry_summary_round_trip(self, tmp_path):
+        path = str(tmp_path / "shard0.spool")
+        tracer = Tracer(lambda: 0.0)
+        registry = LiveRegistry()
+        with ShardSpoolWriter(path, shard=3, meta={"schedule": "t"}) as spool:
+            spool.attach(tracer)
+            registry.attach(tracer)
+            tracer.emit("submit", "q0", qid=0)
+            tracer.emit("complete", "q0", qid=0, iv=0.5, cl=1.0, sl=0.0)
+            spool.registry(registry)
+            spool.summary(total_iv=0.5, dropped_events=tracer.dropped)
+
+        telemetry = read_spool(path)
+        assert telemetry.shard == 3
+        assert telemetry.meta == {"schedule": "t"}
+        assert [r.kind for r in telemetry.records] == ["submit", "complete"]
+        # Every record comes back tagged with the spool's shard index.
+        assert all(r.detail["shard"] == 3 for r in telemetry.records)
+        assert telemetry.summary["total_iv"] == 0.5
+        assert telemetry.dropped_events == 0
+        assert telemetry.registry is not None
+        assert telemetry.registry.counters["query.submitted"] == 1.0
+
+    def test_negative_shard_index_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            ShardSpoolWriter(str(tmp_path / "bad.spool"), shard=-1)
+
+    def test_torn_tail_raises_instead_of_half_parsing(self, tmp_path):
+        path = str(tmp_path / "torn.spool")
+        with ShardSpoolWriter(path, shard=0) as spool:
+            for record in shard_records(0, qid=0, base=1.0):
+                spool.record(record)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        with pytest.raises(Exception):
+            read_spool(path)
+
+    def test_spool_without_header_rejected(self, tmp_path):
+        from repro.durable.journal import JournalWriter
+
+        path = str(tmp_path / "headerless.spool")
+        writer = JournalWriter(path, fsync_every=1)
+        writer.append({"kind": "fleet.trace", "record": {
+            "time": 0.0, "kind": "submit", "subject": "q0", "detail": {},
+        }})
+        writer.close()
+        with pytest.raises(SimulationError, match="fleet.header"):
+            read_spool(path)
+
+
+class TestFleetCollector:
+    def test_merge_is_globally_time_ordered_and_tie_stable(self):
+        # Shard 1's records interleave with shard 0's; equal timestamps
+        # must keep shard-index order.
+        a = telemetry_of(0, qid=0, base=1.0)
+        b = telemetry_of(1, qid=1, base=1.0)
+        collector = FleetCollector([b, a])  # construction order irrelevant
+        merged = collector.records
+        times = [record.time for record in merged]
+        assert times == sorted(times)
+        first_at_1 = [r.detail["shard"] for r in merged if r.time == 1.0]
+        assert first_at_1 == sorted(first_at_1)
+
+    def test_duplicate_shard_indices_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            FleetCollector([telemetry_of(0, 0, 1.0), telemetry_of(0, 1, 2.0)])
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(SimulationError):
+            FleetCollector([])
+
+    def test_snapshot_totals_are_left_to_right_sums(self):
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        snapshot = collector.snapshot()
+        fleet = snapshot["fleet"]
+        panels = snapshot["shards"]
+        assert fleet["ledger_iv"] == panels[0]["ledger_iv"] + panels[1]["ledger_iv"]
+        assert fleet["total_iv"] == panels[0]["ledger_iv"] + panels[1]["ledger_iv"]
+        assert fleet["records"] == sum(p["records"] for p in panels)
+
+    def test_chrome_trace_uses_one_pid_per_shard_and_parses_ledgers(self):
+        # The exporter's LEDGER handling goes through the *strict*
+        # IVLedgerEntry.from_dict — the shard tag must not leak into it.
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        trace = collector.chrome_trace()
+        pids = {event["pid"] for event in trace["traceEvents"]}
+        assert pids == {FLEET_PID_BASE, FLEET_PID_BASE + 1}
+        payload = json.dumps(trace)  # must be JSON-serializable end to end
+        assert "shard 1" in payload
+
+    def test_clean_constructed_fleet_passes_check(self):
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        assert collector.check() == []
+
+
+def rules_of(violations) -> set[str]:
+    return {violation.rule for violation in violations}
+
+
+class TestCrossShardRules:
+    def checker(self) -> TraceChecker:
+        return TraceChecker()
+
+    def test_malformed_shard_tag_flagged(self):
+        collector = FleetCollector([telemetry_of(0, 0, 1.0)])
+        records = list(collector.records)
+        bad = TraceRecord(5.0, "submit", "q9", {"qid": 9, "shard": "zero"})
+        violations = self.checker().check_fleet(
+            records + [bad], collector.snapshot()
+        )
+        assert "shard-tag" in rules_of(violations)
+
+    def test_query_owned_by_two_shards_flagged(self):
+        a = telemetry_of(0, qid=7, base=1.0)
+        b = telemetry_of(1, qid=7, base=2.0)  # same qid on both shards
+        collector = FleetCollector([a, b])
+        violations = self.checker().check_fleet(
+            collector.records, collector.snapshot()
+        )
+        assert "shard-ownership" in rules_of(violations)
+
+    def test_missing_dropped_counter_flagged(self):
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        snapshot = collector.snapshot()
+        snapshot["shards"] = snapshot["shards"][:1]  # drop shard 1's panel
+        violations = self.checker().check_fleet(collector.records, snapshot)
+        assert "fleet-dropped-surfaced" in rules_of(violations)
+
+    def test_tampered_iv_sum_flagged_bit_exactly(self):
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        snapshot = collector.snapshot()
+        # One ulp of drift must be enough to fire the conservation rule.
+        snapshot["fleet"]["ledger_iv"] += 1e-12
+        violations = self.checker().check_fleet(collector.records, snapshot)
+        assert "fleet-iv-conservation" in rules_of(violations)
+
+    def test_tampered_cl_sum_flagged(self):
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        snapshot = collector.snapshot()
+        snapshot["shards"][0]["ledger_cl"] *= 2.0
+        violations = self.checker().check_fleet(collector.records, snapshot)
+        assert "fleet-cl-conservation" in rules_of(violations)
+
+
+class TestShardedSweepEndToEnd:
+    """The real EXT5 path: run_schedule with telemetry on, serial shards."""
+
+    def run_traced(self, on_fleet=None):
+        from repro.experiments.scale import ScaleConfig, ScheduleSpec, run_schedule
+
+        spec = ScheduleSpec("steady", queries=160, arrival="poisson",
+                            interarrival=1.0)
+        config = ScaleConfig(
+            shards=2, executor="serial", schedules=(spec,),
+            trace=True, fleet_metrics=True,
+        )
+        return run_schedule(config, spec, on_fleet=on_fleet)
+
+    def test_traced_run_is_checker_clean_and_bit_exact(self):
+        captured = {}
+
+        def on_fleet(name, collector, violations):
+            captured["collector"] = collector
+            captured["violations"] = violations
+
+        metrics = self.run_traced(on_fleet)
+        assert captured["violations"] == []
+        fleet = metrics["fleet"]
+        assert fleet["violations"] == 0
+        assert fleet["dropped_events"] == 0
+        assert fleet["ledger_entries"] == 160
+        # Conservation, bit-for-bit: the merged ledger's fleet IV equals
+        # the scheduler's online total, which equals the shard-order sum.
+        shard_ivs = [
+            value for key, value in metrics["total_iv"].items()
+            if key != "online"
+        ]
+        total = 0.0
+        for value in shard_ivs:
+            total += value
+        assert metrics["total_iv"]["online"] == total
+        assert fleet["total_iv"] == metrics["total_iv"]["online"]
+        # The merged registry agrees with the scheduler's own counts.
+        registry = captured["collector"].registry
+        assert registry.counters["ledger.entries"] == 160.0
+        assert registry.counters["query.completed"] == 160.0
+
+    def test_telemetry_changes_no_scheduling_decision(self):
+        from repro.experiments.scale import ScaleConfig, ScheduleSpec, run_schedule
+
+        spec = ScheduleSpec("steady", queries=160, arrival="poisson",
+                            interarrival=1.0)
+        base = ScaleConfig(shards=2, executor="serial", schedules=(spec,))
+        plain = run_schedule(base, spec)
+        traced = self.run_traced()
+        for key in ("queries", "dispatched", "shed", "deferred", "windows",
+                    "ga_runs", "total_iv"):
+            assert traced[key] == plain[key], key
+        assert "fleet" not in plain
+
+    def test_explicit_spool_dir_keeps_readable_spools(self, tmp_path):
+        # A caller-provided spool dir survives the run (for inspection);
+        # only the auto-created temp dir is cleaned up.
+        from repro.experiments.scale import ScaleConfig, ScheduleSpec, run_schedule
+
+        spool_dir = str(tmp_path / "spools")
+        spec = ScheduleSpec("steady", queries=40, arrival="poisson",
+                            interarrival=1.0)
+        config = ScaleConfig(
+            shards=2, executor="serial", schedules=(spec,),
+            trace=True, spool_dir=spool_dir,
+        )
+        run_schedule(config, spec)
+        spools = sorted(os.listdir(spool_dir))
+        assert spools == ["steady-shard0.spool", "steady-shard1.spool"]
+        telemetry = read_spool(os.path.join(spool_dir, spools[0]))
+        assert telemetry.shard == 0
+        assert telemetry.records
+
+
+class TestFleetDashboards:
+    def snapshot(self) -> dict:
+        collector = FleetCollector(
+            [telemetry_of(0, 0, 1.0), telemetry_of(1, 1, 2.0)]
+        )
+        return collector.snapshot()
+
+    def test_terminal_dashboard_renders_panels_and_totals(self):
+        from repro.reporting.dashboard import render_fleet_dashboard
+
+        text = render_fleet_dashboard(self.snapshot(), title="unit")
+        assert "fleet dashboard: unit (2 shards)" in text
+        assert "shard panels" in text
+        assert "fleet totals" in text
+        assert "total_iv" in text
+
+    def test_html_report_is_self_contained(self):
+        from repro.reporting.dashboard import fleet_report_html
+
+        html = fleet_report_html(self.snapshot(), title="Fleet unit")
+        assert html.startswith("<!doctype html>")
+        assert "Fleet unit" in html
+        assert "shard" in html
+
+
+class TestPerTableGauges:
+    def test_table_sync_state_gauges(self):
+        state = TableSyncState(half_life=10.0)
+        state.apply(now=5.0, at=4.0, gap=1.0)
+        state.publish(scheduled=7.0)
+        gauges = state.gauges(now=8.0)
+        assert gauges["sync.table.staleness"] == pytest.approx(4.0)  # 8 - 4
+        assert gauges["sync.table.divergence"] == pytest.approx(3.0)  # 7 - 4
+        assert gauges["sync.table.syncs"] == 1
+        assert gauges["sync.table.last_gap"] == pytest.approx(1.0)
+
+    def test_registry_from_system_exports_table_and_site_gauges(self):
+        from repro.obs.metrics import registry_from_system
+        from tests.test_obs_checker import traced_system
+
+        system = traced_system(num_queries=3)
+        gauges = registry_from_system(system).snapshot()["gauges"]
+        table_keys = [k for k in gauges if k.startswith("sync.table.staleness.")]
+        assert table_keys, sorted(gauges)
+        site_keys = [k for k in gauges if k.startswith("site.available.")]
+        assert site_keys, sorted(gauges)

@@ -157,6 +157,7 @@ class TestLiveRegistry:
         snapshot = live.snapshot()
         assert set(snapshot) == {
             "time", "counters", "gauges", "rates", "quantiles", "histograms",
+            "tables",
         }
         assert snapshot["counters"]["query.submitted"] == 3
         assert snapshot["gauges"]["query.in_flight"] == 0

@@ -1,0 +1,277 @@
+"""Registry shipping and merging: state round-trips + the fleet property.
+
+The load-bearing property (ISSUE satellite): partitioning one
+checker-clean trace into pseudo-shards, folding each partition into its
+own :class:`LiveRegistry`, shipping every registry through a JSON
+``state_dict`` round-trip and merging, must reproduce the single-process
+fold of the full trace — counters and histogram buckets **exactly**,
+EWMAs to float rounding, and P² sketch estimates within their documented
+pooled bound.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import events
+from repro.obs.live import (
+    EwmaMean,
+    EwmaRate,
+    LiveRegistry,
+    P2Quantile,
+    TableSyncState,
+    WindowCounter,
+)
+from repro.obs.metrics import Histogram
+
+from tests.test_obs_checker import traced_system
+
+
+class TestEwmaRateMerge:
+    def test_disjoint_streams_merge_to_union_fold(self):
+        union = EwmaRate(half_life=5.0)
+        even, odd = EwmaRate(half_life=5.0), EwmaRate(half_life=5.0)
+        for tick in range(40):
+            time = 0.5 * tick
+            union.observe(time)
+            (even if tick % 2 == 0 else odd).observe(time)
+        merged = EwmaRate.merge([even, odd])
+        assert merged.rate(20.0) == pytest.approx(union.rate(20.0), rel=1e-12)
+
+    def test_mismatched_half_lives_rejected(self):
+        with pytest.raises(SimulationError):
+            EwmaRate.merge([EwmaRate(1.0), EwmaRate(2.0)])
+
+    def test_state_round_trip_preserves_rate(self):
+        rate = EwmaRate(half_life=3.0)
+        for time in (1.0, 2.5, 4.0):
+            rate.observe(time)
+        rebuilt = EwmaRate.from_state(json.loads(json.dumps(rate.state_dict())))
+        assert rebuilt.rate(10.0) == rate.rate(10.0)
+
+
+class TestEwmaMeanMerge:
+    def test_disjoint_streams_merge_to_union_fold(self):
+        union = EwmaMean(half_life=4.0)
+        parts = [EwmaMean(half_life=4.0) for _ in range(3)]
+        rng = random.Random(5)
+        for tick in range(60):
+            time, value = 0.25 * tick, rng.uniform(0.0, 2.0)
+            union.observe(time, value)
+            parts[tick % 3].observe(time, value)
+        merged = EwmaMean.merge(parts)
+        assert merged.mean() == pytest.approx(union.mean(), rel=1e-9)
+
+    def test_state_round_trip_preserves_mean(self):
+        mean = EwmaMean(half_life=2.0)
+        mean.observe(1.0, 3.0)
+        mean.observe(2.0, 5.0)
+        rebuilt = EwmaMean.from_state(json.loads(json.dumps(mean.state_dict())))
+        assert rebuilt.mean() == mean.mean()
+
+
+class TestWindowCounterMerge:
+    def test_merged_counts_equal_union_counts(self):
+        union = WindowCounter(window=10.0)
+        a, b = WindowCounter(window=10.0), WindowCounter(window=10.0)
+        for tick in range(30):
+            time = 0.7 * tick
+            union.observe(time)
+            (a if tick % 2 else b).observe(time)
+        merged = WindowCounter.merge([a, b])
+        assert merged.count(21.0) == union.count(21.0)
+        assert merged.rate(21.0) == union.rate(21.0)
+
+    def test_state_round_trip_preserves_window(self):
+        counter = WindowCounter(window=5.0)
+        for time in (1.0, 2.0, 4.5):
+            counter.observe(time)
+        rebuilt = WindowCounter.from_state(
+            json.loads(json.dumps(counter.state_dict()))
+        )
+        assert rebuilt.count(5.0) == counter.count(5.0)
+
+
+class TestHistogramMerge:
+    def test_bucket_wise_addition_is_exact(self):
+        bounds = (0.5, 1.0, 2.0)
+        union = Histogram("h", bounds=bounds)
+        a, b = Histogram("h", bounds=bounds), Histogram("h", bounds=bounds)
+        rng = random.Random(11)
+        for index in range(200):
+            value = rng.uniform(0.0, 3.0)
+            union.observe(value)
+            (a if index % 2 else b).observe(value)
+        a.merge_from(b)
+        merged, single = a.snapshot(), union.snapshot()
+        # Buckets, counts and extrema are exact; only `sum` depends on
+        # float addition order (documented on merge_from).
+        for key in ("bounds", "counts", "count", "min", "max"):
+            assert merged[key] == single[key], key
+        assert merged["sum"] == pytest.approx(single["sum"], rel=1e-12)
+
+
+class TestP2QuantileMerge:
+    def test_merged_estimate_within_pooled_bounds(self):
+        rng = random.Random(23)
+        values = [rng.lognormvariate(0.0, 0.7) for _ in range(600)]
+        shards = [P2Quantile(0.95) for _ in range(3)]
+        for index, value in enumerate(values):
+            shards[index % 3].observe(value)
+        merged = P2Quantile.merge(shards)
+        assert min(values) <= merged.value() <= max(values)
+        # And near the exact quantile for a well-behaved distribution.
+        exact = sorted(values)[int(0.95 * len(values))]
+        assert merged.value() == pytest.approx(exact, rel=0.25)
+
+    def test_state_round_trip_preserves_estimate(self):
+        sketch = P2Quantile(0.5)
+        for value in (1.0, 9.0, 2.0, 7.0, 5.0, 3.0, 8.0):
+            sketch.observe(value)
+        rebuilt = P2Quantile.from_state(
+            json.loads(json.dumps(sketch.state_dict()))
+        )
+        assert rebuilt.value() == sketch.value()
+        assert rebuilt.count == sketch.count
+
+
+class TestTableSyncStateMerge:
+    def test_freshest_frontier_wins_and_counts_sum(self):
+        a, b = TableSyncState(half_life=10.0), TableSyncState(half_life=10.0)
+        a.apply(now=5.0, at=4.0, gap=1.0)
+        b.apply(now=7.0, at=6.0, gap=2.0)
+        b.publish(scheduled=9.0)
+        merged = TableSyncState.merge([a, b])
+        assert merged.last_apply == 6.0
+        assert merged.published == 9.0
+        assert merged.last_gap == 2.0  # from the shard with the freshest apply
+        assert merged.syncs == 2
+
+    def test_state_round_trip(self):
+        state = TableSyncState(half_life=10.0)
+        state.apply(now=3.0, at=2.0, gap=0.5)
+        rebuilt = TableSyncState.from_state(
+            json.loads(json.dumps(state.state_dict()))
+        )
+        assert rebuilt.gauges(5.0) == state.gauges(5.0)
+
+
+def pseudo_shard(records, shards: int):
+    """Partition a trace by query id; shard-less events go to shard 0.
+
+    Mirrors what conflict-group sharding guarantees: each query's whole
+    lifecycle lands on exactly one shard, infrastructure events (sync,
+    faults, alerts) are observed by a single worker.
+    """
+    partitions = [[] for _ in range(shards)]
+    for record in records:
+        qid = record.detail.get("qid")
+        if qid is None and record.kind == events.LEDGER:
+            qid = record.detail.get("query_id")
+        partitions[0 if qid is None else qid % shards].append(record)
+    return partitions
+
+
+class TestFleetMergeProperty:
+    """merge(per-shard folds) == single-process fold of the union trace."""
+
+    @pytest.fixture(scope="class")
+    def folds(self):
+        system = traced_system(num_queries=8)
+        records = system.tracer.records
+        single = LiveRegistry()
+        for record in records:
+            single.observe(record)
+        shards = []
+        for partition in pseudo_shard(records, shards=3):
+            registry = LiveRegistry()
+            for record in partition:
+                registry.observe(record)
+            # Ship through the JSON spool representation, as a worker would.
+            shards.append(
+                LiveRegistry.from_state(
+                    json.loads(json.dumps(registry.state_dict()))
+                )
+            )
+        return single, LiveRegistry.merge(shards), records
+
+    def test_counters_exact(self, folds):
+        single, merged, _ = folds
+        assert merged.counters == single.counters
+        assert merged.final_counters() == single.final_counters()
+
+    def test_histogram_buckets_exact(self, folds):
+        single, merged, _ = folds
+        single_hists = single.snapshot()["histograms"]
+        merged_hists = merged.snapshot()["histograms"]
+        assert set(merged_hists) == set(single_hists)
+        for name, data in single_hists.items():
+            for key in ("bounds", "counts", "count", "min", "max"):
+                assert merged_hists[name][key] == data[key], (name, key)
+            # `sum` is exact up to float addition order (merge_from doc).
+            assert merged_hists[name]["sum"] == pytest.approx(
+                data["sum"], rel=1e-12
+            ), name
+
+    def test_rates_and_windows_match_union_fold(self, folds):
+        single, merged, _ = folds
+        now = single.now
+        assert merged.now == now
+        single_rates = single.snapshot(now)["rates"]
+        merged_rates = merged.snapshot(now)["rates"]
+        for name, value in single_rates.items():
+            assert merged_rates[name] == pytest.approx(value, rel=1e-9), name
+
+    def test_sketches_within_documented_bounds(self, folds):
+        single, merged, records = folds
+        ledger_ivs = [
+            record.detail["reported_iv"]
+            for record in records
+            if record.kind == events.LEDGER
+        ]
+        ledger_cls = [
+            record.detail["completed_at"] - record.detail["submitted_at"]
+            for record in records
+            if record.kind == events.LEDGER
+        ]
+        if ledger_ivs:
+            assert min(ledger_ivs) <= merged.iv_p50.value() <= max(ledger_ivs)
+        if ledger_cls:
+            assert min(ledger_cls) <= merged.cl_p95.value() <= max(ledger_cls)
+        assert merged.iv_p50.count == single.iv_p50.count
+
+    def test_gauge_inputs_union(self, folds):
+        single, merged, _ = folds
+        assert merged.in_flight == single.in_flight
+        assert merged.iv_realization_ratio() == pytest.approx(
+            single.iv_realization_ratio(), rel=1e-12
+        )
+        assert merged.staleness_mean() == single.staleness_mean()
+
+    def test_per_table_sync_state_merges(self, folds):
+        single, merged, _ = folds
+        single_tables = single.snapshot()["tables"]
+        merged_tables = merged.snapshot()["tables"]
+        assert set(merged_tables) == set(single_tables)
+        for name, gauges in single_tables.items():
+            # All sync events live on shard 0, so the merge is the identity
+            # here; what this pins down is that table state survives the
+            # ship-and-merge path at all.
+            assert merged_tables[name]["sync.table.syncs"] == gauges[
+                "sync.table.syncs"
+            ]
+
+    def test_merge_rejects_mismatched_configuration(self):
+        with pytest.raises(SimulationError):
+            LiveRegistry.merge([LiveRegistry(window=5.0), LiveRegistry(window=9.0)])
+
+    def test_registry_state_dict_round_trip_is_lossless(self, folds):
+        single, _, _ = folds
+        rebuilt = LiveRegistry.from_state(
+            json.loads(json.dumps(single.state_dict()))
+        )
+        assert rebuilt.snapshot() == single.snapshot()
